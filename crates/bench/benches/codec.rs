@@ -1,0 +1,48 @@
+//! Microbenchmarks for the 9P wire codec: the per-message cost that
+//! every remote file operation pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use plan9_ninep::codec::{decode_rmsg, decode_tmsg, encode_rmsg, encode_tmsg};
+use plan9_ninep::fcall::{Rmsg, Tmsg};
+use plan9_ninep::{Dir, Qid};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("9p-codec");
+    let twalk = Tmsg::Walk {
+        fid: 7,
+        name: "clone".into(),
+    };
+    g.bench_function("encode-twalk", |b| {
+        b.iter(|| encode_tmsg(black_box(3), black_box(&twalk)))
+    });
+    let twalk_bytes = encode_tmsg(3, &twalk);
+    g.bench_function("decode-twalk", |b| {
+        b.iter(|| decode_tmsg(black_box(&twalk_bytes)).unwrap())
+    });
+
+    let rread = Rmsg::Read {
+        fid: 7,
+        data: vec![0x42; 8192],
+    };
+    g.throughput(Throughput::Bytes(8192));
+    g.bench_function("encode-rread-8k", |b| {
+        b.iter(|| encode_rmsg(black_box(9), black_box(&rread)))
+    });
+    let rread_bytes = encode_rmsg(9, &rread);
+    g.bench_function("decode-rread-8k", |b| {
+        b.iter(|| decode_rmsg(black_box(&rread_bytes)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dir-codec");
+    let dir = Dir::file("eia1ctl", Qid::file(42, 7), 0o666, "bootes", 116);
+    g.bench_function("encode-dir", |b| b.iter(|| black_box(&dir).encode()));
+    let bytes = dir.encode();
+    g.bench_function("decode-dir", |b| {
+        b.iter(|| Dir::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Name-space and connection-setup costs: path resolution through mount
+//! tables, union listing, CS translation, and the full §2.3 dial dance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plan9_core::dial::{accept, announce, dial, listen};
+use plan9_core::machine::{Machine, MachineBuilder};
+use plan9_inet::ip::IpConfig;
+use plan9_netsim::ether::EtherSegment;
+use plan9_netsim::profile::Profiles;
+use plan9_ninep::procfs::OpenMode;
+use std::sync::Arc;
+
+fn machines() -> (Arc<Machine>, Arc<Machine>) {
+    let seg = EtherSegment::new(Profiles::ether_fast());
+    let ndb = "sys=helix ip=10.13.0.1 proto=il proto=tcp\nsys=gnot ip=10.13.0.2 proto=il proto=tcp\n";
+    let a = MachineBuilder::new("helix")
+        .ether(&seg, [8, 0, 0, 13, 0, 1], IpConfig::local("10.13.0.1"))
+        .ndb(ndb)
+        .build()
+        .unwrap();
+    let b = MachineBuilder::new("gnot")
+        .ether(&seg, [8, 0, 0, 13, 0, 2], IpConfig::local("10.13.0.2"))
+        .ndb(ndb)
+        .build()
+        .unwrap();
+    (a, b)
+}
+
+fn bench_namespace(c: &mut Criterion) {
+    let (helix, gnot) = machines();
+    let p = gnot.proc();
+
+    c.bench_function("ns/resolve-net-tcp-clone", |b| {
+        b.iter(|| {
+            let src = p.ns.resolve(black_box("/net/tcp/clone")).unwrap();
+            src.clunk();
+        })
+    });
+
+    c.bench_function("ns/union-ls-net", |b| {
+        b.iter(|| black_box(p.ls("/net").unwrap().len()))
+    });
+
+    c.bench_function("cs/translate-via-file", |b| {
+        b.iter(|| {
+            let fd = p.open("/net/cs", OpenMode::RDWR).unwrap();
+            p.write_str(fd, black_box("net!helix!9fs")).unwrap();
+            let line = p.read(fd, 256).unwrap();
+            p.close(fd);
+            black_box(line)
+        })
+    });
+
+    // The full dial dance against a persistent echo acceptor.
+    let hp = helix.proc();
+    std::thread::spawn(move || {
+        let (_afd, adir) = announce(&hp, "il!*!echo").expect("announce");
+        loop {
+            let Ok((lcfd, ldir)) = listen(&hp, &adir) else { return };
+            let Ok(dfd) = accept(&hp, lcfd, &ldir) else { return };
+            hp.close(dfd);
+            hp.close(lcfd);
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    c.bench_function("dial/il-connect-teardown", |b| {
+        b.iter(|| {
+            let conn = dial(&p, black_box("il!helix!echo")).expect("dial");
+            p.close(conn.data_fd);
+            p.close(conn.ctl_fd);
+        })
+    });
+}
+
+criterion_group!(benches, bench_namespace);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Database search costs at the paper's scale (§4.1): hashed attribute
+//! lookup against linear scan over a 43,000-line global file.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plan9_ndb::db::Db;
+use plan9_ndb::gen::generate_global;
+use plan9_ndb::hash::build_hash;
+use std::io::Write as _;
+
+fn bench_ndb(c: &mut Criterion) {
+    let (text, names) = generate_global(43_000, 1993);
+    let dir = std::env::temp_dir().join(format!("plan9-ndbbench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let master = dir.join("global");
+    std::fs::File::create(&master)
+        .and_then(|mut f| f.write_all(text.as_bytes()))
+        .expect("write");
+    let target = names[names.len() / 2].clone();
+
+    let db = Db::open(&[master.clone()]).expect("open");
+    c.bench_function("ndb/linear-scan-43k", |b| {
+        b.iter(|| black_box(db.query("sys", black_box(&target))))
+    });
+
+    build_hash(&master, "sys").expect("hash");
+    let db = Db::open(&[master.clone()]).expect("reopen");
+    c.bench_function("ndb/hashed-43k", |b| {
+        b.iter(|| black_box(db.query("sys", black_box(&target))))
+    });
+
+    c.bench_function("ndb/parse-43k-lines", |b| {
+        b.iter(|| black_box(plan9_ndb::parse::parse_entries(black_box(&text)).len()))
+    });
+
+    let small = Db::from_texts(&[
+        "ipnet=net ip=10.0.0.0 auth=authsrv\nsys=me ip=10.1.2.3\n",
+    ]);
+    c.bench_function("ndb/ipattr-closest", |b| {
+        b.iter(|| black_box(plan9_ndb::ipattr_search(&small, "me", "auth")))
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_ndb);
+criterion_main!(benches);

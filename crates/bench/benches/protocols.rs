@@ -1,0 +1,72 @@
+//! Per-message protocol costs over unpaced media: what IL, TCP and URP
+//! cost when the wire is free — the processing the paper charges to
+//! 25 MHz MIPS, measured on this machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use plan9_bench::paths::{
+    cyclone_path, il_ether_path, pipes_path, urp_datakit_path, BenchChan, Calibration,
+};
+
+fn rtt_bench<A: BenchChan, B: BenchChan>(c: &mut Criterion, name: &str, a: A, b: B) {
+    let echo = std::thread::spawn(move || loop {
+        let msg = b.recv();
+        if msg == b"quit" {
+            return;
+        }
+        b.send(&msg);
+    });
+    c.bench_function(name, |bench| {
+        bench.iter(|| {
+            a.send(black_box(&[1u8; 64]));
+            black_box(a.recv());
+        })
+    });
+    a.send(b"quit");
+    let _ = echo.join();
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    {
+        let (a, b) = pipes_path();
+        rtt_bench(c, "rtt/pipes", a, b);
+    }
+    {
+        let (a, b) = il_ether_path(Calibration::Fast);
+        rtt_bench(c, "rtt/il-ether", a, b);
+    }
+    {
+        let (a, b) = urp_datakit_path(Calibration::Fast);
+        rtt_bench(c, "rtt/urp-datakit", a, b);
+    }
+    {
+        let (a, b) = cyclone_path(Calibration::Fast);
+        rtt_bench(c, "rtt/cyclone", a, b);
+    }
+
+    // One-way 16 KiB messages: the Table 1 write size, unpaced.
+    let mut g = c.benchmark_group("oneway-16k");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    {
+        let (a, b) = il_ether_path(Calibration::Fast);
+        let drain = std::thread::spawn(move || loop {
+            if b.recv().is_empty() {
+                continue;
+            }
+        });
+        let msg = vec![0u8; 16 * 1024];
+        g.bench_function("il", |bench| bench.iter(|| a.send(black_box(&msg))));
+        drop(drain);
+    }
+    {
+        let (a, b) = urp_datakit_path(Calibration::Fast);
+        let _drain = std::thread::spawn(move || loop {
+            let _ = b.recv();
+        });
+        let msg = vec![0u8; 16 * 1024];
+        g.bench_function("urp", |bench| bench.iter(|| a.send(black_box(&msg))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

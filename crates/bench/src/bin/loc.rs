@@ -1,0 +1,75 @@
+//! Reproduces the paper's code-size measurements against this
+//! repository:
+//!
+//! * §2: "of 25,000 lines of kernel code, 12,500 are network and
+//!   protocol related" — the fraction of the workspace that is network
+//!   and protocol code.
+//! * §3: "The entire protocol [IL] is 847 lines of code, compared to
+//!   2200 lines for TCP" — the relative sizes of our `il.rs` and
+//!   `tcp.rs`.
+//!
+//! Usage: `cargo run -p plan9-bench --bin loc`
+
+use plan9_bench::loc::{count_dir, count_file, Counts};
+use std::path::Path;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let crates = [
+        ("ninep", true),
+        ("streams", true),
+        ("netsim", true),
+        ("inet", true),
+        ("datakit", true),
+        ("ndb", true),
+        ("cs", true),
+        ("core", true),
+        ("exportfs", true),
+        ("bench", false),
+    ];
+    println!("{:<12} {:>8} {:>8} {:>10}  network?", "crate", "total", "code", "non-test");
+    println!("{}", "-".repeat(52));
+    let mut all = Counts::default();
+    let mut net = Counts::default();
+    for (name, is_net) in crates {
+        let c = count_dir(&root.join("crates").join(name).join("src"));
+        println!(
+            "{name:<12} {:>8} {:>8} {:>10}  {}",
+            c.total,
+            c.code,
+            c.non_test_code,
+            if is_net { "yes" } else { "no (harness)" }
+        );
+        all += c;
+        if is_net {
+            net += c;
+        }
+    }
+    println!("{}", "-".repeat(52));
+    println!(
+        "{:<12} {:>8} {:>8} {:>10}",
+        "workspace", all.total, all.code, all.non_test_code
+    );
+    let frac = net.non_test_code as f64 / all.non_test_code as f64;
+    println!();
+    println!(
+        "network/protocol fraction: {:.0}% of non-test code (paper: 12,500/25,000 = 50% of the kernel)",
+        frac * 100.0
+    );
+
+    // §3: IL vs TCP.
+    let il = count_file(&root.join("crates/inet/src/il.rs")).expect("il.rs");
+    let tcp = count_file(&root.join("crates/inet/src/tcp.rs")).expect("tcp.rs");
+    println!();
+    println!("IL  (il.rs):  {:>5} non-test code lines", il.non_test_code);
+    println!("TCP (tcp.rs): {:>5} non-test code lines", tcp.non_test_code);
+    println!(
+        "TCP/IL ratio: {:.2}x (paper: 2200/847 = {:.2}x)",
+        tcp.non_test_code as f64 / il.non_test_code as f64,
+        2200.0 / 847.0
+    );
+    assert!(
+        il.non_test_code < tcp.non_test_code,
+        "IL must stay smaller than TCP, as in the paper"
+    );
+}

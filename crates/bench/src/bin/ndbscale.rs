@@ -1,0 +1,101 @@
+//! Reproduces §4.1's database-scale behavior: a 43,000-line global file
+//! ("our global file ... has 43,000 lines"), hashed attribute search
+//! against linear scan, and the stale-hash fallback.
+//!
+//! Usage: `cargo run -p plan9-bench --release --bin ndbscale`
+
+use plan9_ndb::db::Db;
+use plan9_ndb::gen::generate_global;
+use plan9_ndb::hash::build_hash;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let lines = 43_000;
+    let (text, names) = generate_global(lines, 1993);
+    println!(
+        "generated global db: {} lines, {} systems",
+        text.lines().count(),
+        names.len()
+    );
+    let dir = std::env::temp_dir().join(format!("plan9-ndbscale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let master = dir.join("global");
+    std::fs::File::create(&master)
+        .and_then(|mut f| f.write_all(text.as_bytes()))
+        .expect("write global");
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut probe: Vec<&String> = names.iter().collect();
+    probe.shuffle(&mut rng);
+    let probes: Vec<&String> = probe.into_iter().take(200).collect();
+
+    // Linear scans (no hash file yet).
+    let db = Db::open(&[master.clone()]).expect("open db");
+    let start = Instant::now();
+    for name in &probes {
+        let hits = db.query("sys", name);
+        assert!(!hits.is_empty());
+    }
+    let linear = start.elapsed();
+    println!(
+        "linear scan:  {:>9.3} ms / lookup  ({} lookups in {:?})",
+        linear.as_secs_f64() * 1000.0 / probes.len() as f64,
+        probes.len(),
+        linear
+    );
+
+    // Build the hash file, then repeat.
+    let start = Instant::now();
+    let n = build_hash(&master, "sys").expect("build hash");
+    println!("built hash for sys: {n} values in {:?}", start.elapsed());
+    let db = Db::open(&[master.clone()]).expect("reopen db");
+    let start = Instant::now();
+    for name in &probes {
+        let hits = db.query("sys", name);
+        assert!(!hits.is_empty());
+    }
+    let hashed = start.elapsed();
+    println!(
+        "hashed:       {:>9.3} ms / lookup  (speedup {:.0}x)",
+        hashed.as_secs_f64() * 1000.0 / probes.len() as f64,
+        linear.as_secs_f64() / hashed.as_secs_f64().max(1e-9)
+    );
+    assert!(hashed < linear, "hashing must beat scanning at 43k lines");
+
+    // "Searches for attributes that aren't hashed ... still work, they
+    // just take longer."
+    let dom = db
+        .query_one("sys", probes[0])
+        .and_then(|e| e.get("dom").map(String::from))
+        .expect("dom attr");
+    let start = Instant::now();
+    let hits = db.query("dom", &dom);
+    let unhashed = start.elapsed();
+    println!(
+        "unhashed attribute (dom): {} hit(s) by scan in {:?}",
+        hits.len(),
+        unhashed
+    );
+    assert_eq!(hits.len(), 1);
+
+    // "Every hash file contains the modification time of its master file
+    // so we can avoid using an out-of-date hash table."
+    std::thread::sleep(std::time::Duration::from_millis(1100));
+    let mut updated = text.clone();
+    updated.push_str("sys=freshhost\n\tip=135.1.2.3\n");
+    std::fs::write(&master, &updated).expect("update master");
+    let db = Db::open(&[master.clone()]).expect("reopen");
+    let hits = db.query("sys", "freshhost");
+    println!(
+        "stale hash detected, fell back to scan: freshhost found = {}",
+        hits.len() == 1
+    );
+    assert_eq!(hits.len(), 1);
+    let scans = db.scans.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(scans > 0, "stale hash must force a scan");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ndbscale: OK");
+}

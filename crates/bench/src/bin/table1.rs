@@ -1,0 +1,99 @@
+//! Regenerates the paper's **Table 1**: throughput and latency for
+//! pipes, IL/ether, URP/Datakit, and Cyclone.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p plan9-bench --release --bin table1 [fast]
+//! ```
+//! The default run uses the 1993 calibration profiles, which pace the
+//! simulated media at period hardware rates so the measured numbers land
+//! near the paper's; `fast` removes pacing and reports the raw speed of
+//! the protocol code on this machine. Pipes are always unpaced (they
+//! were memory-bound in 1993 too; only the absolute number moves).
+
+use plan9_bench::paths::*;
+use plan9_bench::{table_row, PAPER_TABLE1};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "fast");
+    let cal = if fast {
+        Calibration::Fast
+    } else {
+        Calibration::Calibrated
+    };
+    let write = 16 * 1024; // "throughput is measured using 16k writes"
+    let reps = 200;
+    println!(
+        "Table 1 — performance ({} profile)",
+        if fast { "fast/unpaced" } else { "calibrated 1993" }
+    );
+    println!("{:<14} {:>10} {:>10}   {:>10} {:>10}", "test", "MB/s", "ms", "paper MB/s", "paper ms");
+    println!("{}", "-".repeat(62));
+
+    let mut results = Vec::new();
+
+    // pipes
+    let (a, b) = pipes_path();
+    let mbs = measure_throughput(a, b, 32 << 20, write);
+    let (a, b) = pipes_path();
+    let lat = measure_latency(a, b, reps * 5);
+    results.push(("pipes", mbs, lat));
+
+    // IL/ether
+    settle();
+    let total = if fast { 32 << 20 } else { 2 << 20 };
+    let (a, b) = il_ether_path(cal);
+    let mbs = measure_throughput(a, b, total, write);
+    settle();
+    let (a, b) = il_ether_path(cal);
+    let lat = measure_latency(a, b, reps);
+    results.push(("IL/ether", mbs, lat));
+
+    // URP/Datakit
+    settle();
+    let total = if fast { 16 << 20 } else { 1 << 20 };
+    let (a, b) = urp_datakit_path(cal);
+    let mbs = measure_throughput(a, b, total, write);
+    settle();
+    let (a, b) = urp_datakit_path(cal);
+    let lat = measure_latency(a, b, reps);
+    results.push(("URP/Datakit", mbs, lat));
+
+    // Cyclone
+    settle();
+    let total = if fast { 32 << 20 } else { 4 << 20 };
+    let (a, b) = cyclone_path(cal);
+    let mbs = measure_throughput(a, b, total, write);
+    settle();
+    let (a, b) = cyclone_path(cal);
+    let lat = measure_latency(a, b, reps * 2);
+    results.push(("Cyclone", mbs, lat));
+
+    for ((name, mbs, lat), (pname, pmbs, pms)) in results.iter().zip(PAPER_TABLE1.iter()) {
+        assert_eq!(name, pname);
+        println!(
+            "{}   {:>10.2} {:>10.3}",
+            table_row(name, *mbs, *lat),
+            pmbs,
+            pms
+        );
+    }
+
+    // Shape checks the paper's table implies.
+    let t: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let l: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let order_ok = t[0] > t[3] && t[3] > t[1] && t[1] > t[2];
+    let lat_ok = l[0] < l[3] && l[3] < l[1] && l[1] < l[2];
+    println!();
+    println!(
+        "throughput ordering pipes > Cyclone > IL/ether > URP/Datakit: {}",
+        if order_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "latency ordering    pipes < Cyclone < IL/ether < URP/Datakit: {}",
+        if lat_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    if !fast && (!order_ok || !lat_ok) {
+        std::process::exit(1);
+    }
+}

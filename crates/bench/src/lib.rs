@@ -1,0 +1,21 @@
+//! Shared machinery for the benchmark and table/figure binaries.
+//!
+//! The per-experiment index in `DESIGN.md` maps each of the paper's
+//! tables and figures to a binary in `src/bin/`; this library holds the
+//! measurement plumbing they share.
+
+pub mod loc;
+pub mod paths;
+
+/// The paper's Table 1, for side-by-side reporting.
+pub const PAPER_TABLE1: [(&str, f64, f64); 4] = [
+    ("pipes", 8.15, 0.255),
+    ("IL/ether", 1.02, 1.42),
+    ("URP/Datakit", 0.22, 1.75),
+    ("Cyclone", 3.2, 0.375),
+];
+
+/// Formats a throughput/latency table row like the paper's.
+pub fn table_row(name: &str, mbs: f64, ms: f64) -> String {
+    format!("{name:<14} {mbs:>10.2} {ms:>10.3}")
+}

@@ -1,0 +1,274 @@
+//! The `eia` UART device (§2.2).
+//!
+//! "Simple device drivers serve a single level directory containing just
+//! a few files; for example, we represent each UART by a data and a
+//! control file":
+//!
+//! ```text
+//! % ls -l /dev/eia*
+//! --rw-rw-rw- t 0 bootes bootes 0 Jul 16 17:28 eia1
+//! --rw-rw-rw- t 0 bootes bootes 0 Jul 16 17:28 eia1ctl
+//! ```
+//!
+//! "The control file is used to control the device; writing the string
+//! `b1200` to /dev/eia1ctl sets the line to 1200 baud."
+
+use parking_lot::Mutex;
+use plan9_netsim::uart::UartEnd;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Line {
+    uart: UartEnd,
+    /// Bytes received but not yet consumed by a reader.
+    pending: Mutex<VecDeque<u8>>,
+}
+
+/// The serial-line device: `eia1`, `eia1ctl`, `eia2`, ... numbered from
+/// one like the paper's listing.
+pub struct EiaDev {
+    lines: Vec<Line>,
+    handles: AtomicU64,
+}
+
+const Q_TOP: u32 = 0;
+
+fn data_qid(i: usize) -> Qid {
+    Qid::file(((i as u32 + 1) << 4) | 1, 0)
+}
+
+fn ctl_qid(i: usize) -> Qid {
+    Qid::file(((i as u32 + 1) << 4) | 2, 0)
+}
+
+impl EiaDev {
+    /// Builds the device over a set of serial lines.
+    pub fn new(uarts: Vec<UartEnd>) -> Arc<EiaDev> {
+        Arc::new(EiaDev {
+            lines: uarts
+                .into_iter()
+                .map(|uart| Line {
+                    uart,
+                    pending: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn entries(&self) -> Vec<Dir> {
+        let mut out = Vec::new();
+        for i in 0..self.lines.len() {
+            let mut d = Dir::file(&format!("eia{}", i + 1), data_qid(i), 0o666, "bootes", 0);
+            d.dev_type = b't' as u16;
+            out.push(d);
+            let mut d = Dir::file(
+                &format!("eia{}ctl", i + 1),
+                ctl_qid(i),
+                0o666,
+                "bootes",
+                0,
+            );
+            d.dev_type = b't' as u16;
+            out.push(d);
+        }
+        out
+    }
+
+    fn line_of(&self, q: Qid) -> Result<(usize, bool)> {
+        let p = q.path_bits();
+        if p < 16 {
+            return Err(NineError::new(errstr::EBADUSE));
+        }
+        let idx = (p >> 4) as usize - 1;
+        if idx >= self.lines.len() {
+            return Err(NineError::new(errstr::ENOTEXIST));
+        }
+        Ok((idx, p & 0xf == 2))
+    }
+}
+
+impl ProcFs for EiaDev {
+    fn fsname(&self) -> String {
+        "eia".to_string()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            Qid::dir(Q_TOP, 0),
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            n.qid,
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        if !n.qid.is_dir() {
+            return Err(NineError::new(errstr::ENOTDIR));
+        }
+        if name == ".." {
+            return Ok(*n);
+        }
+        self.entries()
+            .into_iter()
+            .find(|d| d.name == name)
+            .map(|d| ServeNode::new(d.qid, n.handle))
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        if n.qid.is_dir() && mode.access() != 0 {
+            return Err(NineError::new(errstr::EISDIR));
+        }
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        if n.qid.is_dir() {
+            return read_dir_slice(&self.entries(), offset, count);
+        }
+        let (idx, is_ctl) = self.line_of(n.qid)?;
+        let line = &self.lines[idx];
+        if is_ctl {
+            let s = format!("b{}\n", line.uart.baud());
+            let bytes = s.into_bytes();
+            let off = (offset as usize).min(bytes.len());
+            let end = (off + count).min(bytes.len());
+            return Ok(bytes[off..end].to_vec());
+        }
+        // Data: drain pending bytes, else block for more from the line.
+        {
+            let mut pending = line.pending.lock();
+            if !pending.is_empty() {
+                let n = pending.len().min(count);
+                return Ok(pending.drain(..n).collect());
+            }
+        }
+        match line.uart.recv() {
+            Some(bytes) => {
+                let mut pending = line.pending.lock();
+                let take = bytes.len().min(count);
+                pending.extend(bytes[take..].iter());
+                Ok(bytes[..take].to_vec())
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        let (idx, is_ctl) = self.line_of(n.qid)?;
+        let line = &self.lines[idx];
+        if is_ctl {
+            let cmd = std::str::from_utf8(data)
+                .map_err(|_| NineError::new("control request is not text"))?
+                .trim();
+            if let Some(baud) = cmd.strip_prefix('b') {
+                let baud: u32 = baud
+                    .parse()
+                    .map_err(|_| NineError::new(format!("bad baud rate: {cmd}")))?;
+                line.uart.set_baud(baud);
+                return Ok(data.len());
+            }
+            return Err(NineError::new(format!("unknown control request: {cmd}")));
+        }
+        line.uart.send(data).map_err(NineError::new)?;
+        Ok(data.len())
+    }
+
+    fn clunk(&self, _n: &ServeNode) {}
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        if n.qid.is_dir() {
+            return Ok(Dir::directory("eia", Qid::dir(Q_TOP, 0), 0o555, "bootes"));
+        }
+        self.entries()
+            .into_iter()
+            .find(|d| d.qid == n.qid)
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plan9_netsim::uart::uart_pair;
+
+    fn dev_and_peer() -> (Arc<EiaDev>, UartEnd) {
+        let (a, b) = uart_pair(1_000_000);
+        (EiaDev::new(vec![a]), b)
+    }
+
+    #[test]
+    fn listing_matches_paper_shape() {
+        let (dev, _peer) = dev_and_peer();
+        let root = dev.attach("u", "").unwrap();
+        let names: Vec<String> = dev
+            .read(&root, 0, 4096)
+            .unwrap()
+            .chunks(plan9_ninep::dir::DIR_LEN)
+            .map(|c| Dir::decode(c).unwrap())
+            .map(|d| {
+                assert!(d.ls_line().starts_with("-rw-rw-rw- t"), "{}", d.ls_line());
+                d.name
+            })
+            .collect();
+        assert_eq!(names, vec!["eia1", "eia1ctl"]);
+    }
+
+    #[test]
+    fn b1200_sets_the_line() {
+        let (dev, peer) = dev_and_peer();
+        let root = dev.attach("u", "").unwrap();
+        let ctl = dev.walk(&root, "eia1ctl").unwrap();
+        let ctl = dev.open(&ctl, OpenMode::WRITE).unwrap();
+        dev.write(&ctl, 0, b"b1200").unwrap();
+        assert_eq!(peer.baud(), 1200);
+        let text = dev.read(&ctl, 0, 16).unwrap();
+        assert_eq!(text, b"b1200\n");
+        assert!(dev.write(&ctl, 0, b"stty -echo").is_err());
+    }
+
+    #[test]
+    fn data_crosses_the_line() {
+        let (dev, peer) = dev_and_peer();
+        let root = dev.attach("u", "").unwrap();
+        let data = dev.walk(&root, "eia1").unwrap();
+        let data = dev.open(&data, OpenMode::RDWR).unwrap();
+        dev.write(&data, 0, b"hello").unwrap();
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            got.extend(peer.recv().unwrap());
+        }
+        assert_eq!(got, b"hello");
+        peer.send(b"back").unwrap();
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            got.extend(dev.read(&data, 0, 100).unwrap());
+        }
+        assert_eq!(got, b"back");
+    }
+
+    #[test]
+    fn short_reads_keep_remainder() {
+        let (dev, peer) = dev_and_peer();
+        let root = dev.attach("u", "").unwrap();
+        let data = dev.walk(&root, "eia1").unwrap();
+        let data = dev.open(&data, OpenMode::READ).unwrap();
+        peer.send(b"abcdef").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            got.extend(dev.read(&data, 0, 2).unwrap());
+        }
+        assert_eq!(got, b"abcdef");
+    }
+}

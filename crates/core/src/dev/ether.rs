@@ -1,0 +1,586 @@
+//! The Ethernet device driver: the two-level file tree of Figure 1.
+//!
+//! ```text
+//! ether/clone
+//! ether/1/{ctl data stats type}
+//! ether/2/...
+//! ```
+//!
+//! Each connection directory corresponds to an Ethernet packet type.
+//! Writing `connect 2048` to the `ctl` file sets the packet type;
+//! reading `type` yields `2048`; the `data` file accesses the media.
+//! "If several connections on an interface are configured for a
+//! particular packet type, each receives a copy of the incoming packets.
+//! The special packet type −1 selects all packets. Writing the strings
+//! `promiscuous` and `connect -1` to the ctl file configures a
+//! conversation to receive all packets on the Ethernet."
+//!
+//! Writing the `data` file queues a packet for transmission "after
+//! appending a packet header containing the source address and packet
+//! type": the written bytes are the six-byte destination followed by the
+//! payload; the driver supplies source and type.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use plan9_netsim::ether::{mac_to_string, EtherFrame, EtherStation, BROADCAST};
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const Q_TOP: u32 = 0;
+const Q_CLONE: u32 = 1;
+const T_DIR: u32 = 1;
+const T_CTL: u32 = 2;
+const T_DATA: u32 = 3;
+const T_STATS: u32 = 4;
+const T_TYPE: u32 = 5;
+
+fn conn_qid(conn: usize, typ: u32) -> Qid {
+    let path = ((conn as u32 + 1) << 4) | typ;
+    if typ == T_DIR {
+        Qid::dir(path, 0)
+    } else {
+        Qid::file(path, 0)
+    }
+}
+
+fn split_qid(q: Qid) -> Option<(usize, u32)> {
+    let p = q.path_bits();
+    if p < 16 {
+        return None;
+    }
+    Some(((p >> 4) as usize - 1, p & 0xf))
+}
+
+struct EtherConv {
+    id: usize,
+    /// The selected packet type; `-1` selects all; `-2` means not yet
+    /// configured.
+    ptype: AtomicI64,
+    promiscuous: AtomicBool,
+    rx_tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    refs: Mutex<usize>,
+}
+
+/// The LANCE-style Ethernet device.
+pub struct EtherDev {
+    station: Arc<EtherStation>,
+    convs: Mutex<HashMap<usize, Arc<EtherConv>>>,
+    next_conn: Mutex<usize>,
+    handles: AtomicU64,
+    open_refs: Mutex<HashMap<u64, usize>>,
+    /// Frames received from the wire.
+    pub in_packets: AtomicU64,
+    /// Frames transmitted.
+    pub out_packets: AtomicU64,
+    /// Frames that matched no conversation.
+    pub unrouted: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl EtherDev {
+    /// Wraps a station and starts the receiver kernel process.
+    ///
+    /// Connection directories are numbered from 1, matching Figure 1.
+    pub fn new(station: EtherStation) -> Arc<EtherDev> {
+        let dev = Arc::new(EtherDev {
+            station: Arc::new(station),
+            convs: Mutex::new(HashMap::new()),
+            next_conn: Mutex::new(1),
+            handles: AtomicU64::new(1),
+            open_refs: Mutex::new(HashMap::new()),
+            in_packets: AtomicU64::new(0),
+            out_packets: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        let rx_dev = Arc::clone(&dev);
+        std::thread::Builder::new()
+            .name("ether-rx".to_string())
+            .spawn(move || rx_dev.rx_loop())
+            .expect("spawn ether rx");
+        dev
+    }
+
+    /// Stops the receiver process.
+    pub fn shutdown(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// The interface's station address.
+    pub fn addr_string(&self) -> String {
+        mac_to_string(&self.station.addr)
+    }
+
+    fn rx_loop(self: Arc<Self>) {
+        while !self.closed.load(Ordering::SeqCst) {
+            let Some(frame) = self.station.recv_timeout(Duration::from_millis(50)) else {
+                continue;
+            };
+            self.in_packets.fetch_add(1, Ordering::Relaxed);
+            let encoded = frame.encode();
+            let mut routed = false;
+            let convs: Vec<Arc<EtherConv>> = self.convs.lock().values().cloned().collect();
+            for conv in convs {
+                let ptype = conv.ptype.load(Ordering::Relaxed);
+                let type_ok = ptype == -1 || ptype == frame.ethertype as i64;
+                let addr_ok = conv.promiscuous.load(Ordering::Relaxed)
+                    || frame.dst == self.station.addr
+                    || frame.dst == BROADCAST;
+                if type_ok && addr_ok && ptype != -2 {
+                    // Each matching conversation receives a copy; full
+                    // queues drop, as hardware input rings do.
+                    let _ = conv.rx_tx.try_send(encoded.clone());
+                    routed = true;
+                }
+            }
+            if !routed {
+                self.unrouted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn fresh_handle(&self) -> u64 {
+        self.handles.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn alloc_conv(&self) -> Arc<EtherConv> {
+        let mut next = self.next_conn.lock();
+        let id = *next;
+        *next += 1;
+        let (tx, rx) = bounded(256);
+        let conv = Arc::new(EtherConv {
+            id,
+            ptype: AtomicI64::new(-2),
+            promiscuous: AtomicBool::new(false),
+            rx_tx: tx,
+            rx,
+            refs: Mutex::new(0),
+        });
+        self.convs.lock().insert(id, Arc::clone(&conv));
+        conv
+    }
+
+    fn conv(&self, id: usize) -> Result<Arc<EtherConv>> {
+        self.convs
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+
+    fn take_ref(&self, handle: u64, conv: &Arc<EtherConv>) {
+        *conv.refs.lock() += 1;
+        self.open_refs.lock().insert(handle, conv.id);
+    }
+
+    fn conv_entries(&self, id: usize) -> Vec<Dir> {
+        vec![
+            Dir::file("ctl", conn_qid(id, T_CTL), 0o660, "network", 0),
+            Dir::file("data", conn_qid(id, T_DATA), 0o660, "network", 0),
+            Dir::file("stats", conn_qid(id, T_STATS), 0o444, "network", 0),
+            Dir::file("type", conn_qid(id, T_TYPE), 0o444, "network", 0),
+        ]
+    }
+
+    fn top_entries(&self) -> Vec<Dir> {
+        let mut out = vec![Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0)];
+        let convs = self.convs.lock();
+        let mut ids: Vec<usize> = convs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            out.push(Dir::directory(
+                &id.to_string(),
+                conn_qid(id, T_DIR),
+                0o555,
+                "network",
+            ));
+        }
+        out
+    }
+
+    /// The `stats` text: "the interface address, packet input/output
+    /// counts, error statistics, and general information about the state
+    /// of the interface."
+    pub fn stats_text(&self) -> String {
+        format!(
+            "addr: {}\nin: {}\nout: {}\nunrouted: {}\nconversations: {}\nmtu: {}\n",
+            self.addr_string(),
+            self.in_packets.load(Ordering::Relaxed),
+            self.out_packets.load(Ordering::Relaxed),
+            self.unrouted.load(Ordering::Relaxed),
+            self.convs.lock().len(),
+            self.station.payload_mtu(),
+        )
+    }
+}
+
+impl ProcFs for EtherDev {
+    fn fsname(&self) -> String {
+        "ether".to_string()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(Qid::dir(Q_TOP, 0), self.fresh_handle()))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(ServeNode::new(n.qid, self.fresh_handle()))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        let q = n.qid;
+        if q.path_bits() == Q_TOP && q.is_dir() {
+            if name == ".." {
+                return Ok(*n);
+            }
+            if name == "clone" {
+                return Ok(ServeNode::new(Qid::file(Q_CLONE, 0), n.handle));
+            }
+            if let Ok(id) = name.parse::<usize>() {
+                self.conv(id)?;
+                return Ok(ServeNode::new(conn_qid(id, T_DIR), n.handle));
+            }
+            return Err(NineError::new(errstr::ENOTEXIST));
+        }
+        if let Some((id, T_DIR)) = split_qid(q) {
+            if name == ".." {
+                return Ok(ServeNode::new(Qid::dir(Q_TOP, 0), n.handle));
+            }
+            let typ = match name {
+                "ctl" => T_CTL,
+                "data" => T_DATA,
+                "stats" => T_STATS,
+                "type" => T_TYPE,
+                _ => return Err(NineError::new(errstr::ENOTEXIST)),
+            };
+            self.conv(id)?;
+            return Ok(ServeNode::new(conn_qid(id, typ), n.handle));
+        }
+        Err(NineError::new(errstr::ENOTDIR))
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        let q = n.qid;
+        if q.is_dir() {
+            if mode.access() != 0 {
+                return Err(NineError::new(errstr::EISDIR));
+            }
+            return Ok(*n);
+        }
+        if q.path_bits() == Q_CLONE {
+            // "Opening the clone file finds an unused connection
+            // directory and opens its ctl file."
+            let conv = self.alloc_conv();
+            self.take_ref(n.handle, &conv);
+            return Ok(ServeNode::new(conn_qid(conv.id, T_CTL), n.handle));
+        }
+        let (id, _typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conv = self.conv(id)?;
+        self.take_ref(n.handle, &conv);
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        let q = n.qid;
+        if q.is_dir() && q.path_bits() == Q_TOP {
+            return read_dir_slice(&self.top_entries(), offset, count);
+        }
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conv = self.conv(id)?;
+        if q.is_dir() {
+            return read_dir_slice(&self.conv_entries(id), offset, count);
+        }
+        let text = |s: String| -> Vec<u8> {
+            let bytes = s.into_bytes();
+            let off = (offset as usize).min(bytes.len());
+            let end = (off + count).min(bytes.len());
+            bytes[off..end].to_vec()
+        };
+        match typ {
+            T_CTL => Ok(text(conv.id.to_string())),
+            // "Subsequent reads of the file type yield the string 2048."
+            T_TYPE => Ok(text(conv.ptype.load(Ordering::Relaxed).to_string())),
+            T_STATS => Ok(text(self.stats_text())),
+            T_DATA => {
+                // "Reading it returns the next packet of the selected
+                // type."
+                match conv.rx.recv() {
+                    Ok(mut frame) => {
+                        frame.truncate(count.max(frame.len().min(count)));
+                        Ok(frame)
+                    }
+                    Err(_) => Ok(Vec::new()),
+                }
+            }
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        let (id, typ) = split_qid(n.qid).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conv = self.conv(id)?;
+        match typ {
+            T_CTL => {
+                let cmd = std::str::from_utf8(data)
+                    .map_err(|_| NineError::new("control request is not text"))?;
+                let fields: Vec<&str> = cmd.split_whitespace().collect();
+                match fields.as_slice() {
+                    ["connect", t] => {
+                        let t: i64 = t
+                            .parse()
+                            .map_err(|_| NineError::new("bad packet type"))?;
+                        conv.ptype.store(t, Ordering::Relaxed);
+                        Ok(data.len())
+                    }
+                    ["promiscuous"] => {
+                        conv.promiscuous.store(true, Ordering::Relaxed);
+                        Ok(data.len())
+                    }
+                    _ => Err(NineError::new(format!("unknown control request: {cmd}"))),
+                }
+            }
+            T_DATA => {
+                // Destination address, then payload; the driver appends
+                // the header with source address and the packet type.
+                if data.len() < 6 {
+                    return Err(NineError::new("short ether write"));
+                }
+                let ptype = conv.ptype.load(Ordering::Relaxed);
+                if ptype < 0 {
+                    return Err(NineError::new("packet type not set"));
+                }
+                let dst: [u8; 6] = data[..6].try_into().unwrap();
+                self.station
+                    .send(dst, ptype as u16, &data[6..])
+                    .map_err(NineError::new)?;
+                self.out_packets.fetch_add(1, Ordering::Relaxed);
+                Ok(data.len())
+            }
+            _ => Err(NineError::new(errstr::EPERM)),
+        }
+    }
+
+    fn clunk(&self, n: &ServeNode) {
+        let conv_id = self.open_refs.lock().remove(&n.handle);
+        if let Some(id) = conv_id {
+            let conv = { self.convs.lock().get(&id).cloned() };
+            if let Some(conv) = conv {
+                let mut refs = conv.refs.lock();
+                *refs = refs.saturating_sub(1);
+                if *refs == 0 {
+                    drop(refs);
+                    self.convs.lock().remove(&id);
+                }
+            }
+        }
+    }
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        let q = n.qid;
+        if q.path_bits() == Q_TOP {
+            return Ok(Dir::directory("ether", Qid::dir(Q_TOP, 0), 0o555, "network"));
+        }
+        if q.path_bits() == Q_CLONE {
+            return Ok(Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0));
+        }
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        self.conv(id)?;
+        if typ == T_DIR {
+            return Ok(Dir::directory(
+                &id.to_string(),
+                conn_qid(id, T_DIR),
+                0o555,
+                "network",
+            ));
+        }
+        self.conv_entries(id)
+            .into_iter()
+            .find(|d| d.qid == q)
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+}
+
+/// Re-export for callers that parse data-file reads.
+pub use plan9_netsim::ether::ETHER_HDR;
+
+/// Decodes a frame read from a `data` file.
+pub fn parse_frame(bytes: &[u8]) -> Option<EtherFrame> {
+    EtherFrame::decode(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plan9_netsim::ether::EtherSegment;
+    use plan9_netsim::profile::Profiles;
+
+    fn mac(n: u8) -> [u8; 6] {
+        [8, 0, 0x69, 2, 0x22, n]
+    }
+
+    fn two_devs() -> (Arc<EtherDev>, Arc<EtherDev>) {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        (
+            EtherDev::new(seg.attach(mac(1))),
+            EtherDev::new(seg.attach(mac(2))),
+        )
+    }
+
+    /// Opens the clone file, sets the packet type, returns (ctl, data).
+    fn conversation(dev: &Arc<EtherDev>, ctl_cmd: &[&str]) -> (ServeNode, ServeNode) {
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        for cmd in ctl_cmd {
+            dev.write(&ctl, 0, cmd.as_bytes()).unwrap();
+        }
+        let id = String::from_utf8(dev.read(&ctl, 0, 16).unwrap()).unwrap();
+        let mut data = dev.attach("u", "").unwrap();
+        for elem in [id.as_str(), "data"] {
+            data = dev.walk(&data, elem).unwrap();
+        }
+        let data = dev.open(&data, OpenMode::RDWR).unwrap();
+        (ctl, data)
+    }
+
+    #[test]
+    fn figure_1_tree_shape() {
+        let (dev, _) = two_devs();
+        let (_ctl, _data) = conversation(&dev, &["connect 2048"]);
+        let root = dev.attach("u", "").unwrap();
+        let names: Vec<String> = dev
+            .read(&root, 0, 4096)
+            .unwrap()
+            .chunks(plan9_ninep::dir::DIR_LEN)
+            .map(|c| Dir::decode(c).unwrap().name)
+            .collect();
+        assert_eq!(names, vec!["clone", "1"]);
+        let conn = dev.walk(&root, "1").unwrap();
+        let names: Vec<String> = dev
+            .read(&conn, 0, 4096)
+            .unwrap()
+            .chunks(plan9_ninep::dir::DIR_LEN)
+            .map(|c| Dir::decode(c).unwrap().name)
+            .collect();
+        assert_eq!(names, vec!["ctl", "data", "stats", "type"]);
+    }
+
+    #[test]
+    fn connect_2048_receives_ip_packets_only() {
+        let (a, b) = two_devs();
+        let (_actl, adata) = conversation(&a, &["connect 2048"]);
+        let (_bctl, bdata) = conversation(&b, &["connect 2048"]);
+        // Send an IP-type packet from b to a.
+        let mut pkt = mac(1).to_vec();
+        pkt.extend_from_slice(b"an ip packet");
+        b.write(&bdata, 0, &pkt).unwrap();
+        let frame = parse_frame(&a.read(&adata, 0, 2048).unwrap()).unwrap();
+        assert_eq!(frame.ethertype, 2048);
+        assert_eq!(frame.payload, b"an ip packet");
+        assert_eq!(frame.src, mac(2));
+    }
+
+    #[test]
+    fn type_file_reads_back() {
+        let (dev, _) = two_devs();
+        let (_ctl, _data) = conversation(&dev, &["connect 2048"]);
+        let root = dev.attach("u", "").unwrap();
+        let mut t = root;
+        for elem in ["1", "type"] {
+            t = dev.walk(&t, elem).unwrap();
+        }
+        let t = dev.open(&t, OpenMode::READ).unwrap();
+        assert_eq!(dev.read(&t, 0, 16).unwrap(), b"2048");
+    }
+
+    #[test]
+    fn copy_semantics_for_same_type() {
+        let (a, b) = two_devs();
+        let (_c1, d1) = conversation(&a, &["connect 9"]);
+        let (_c2, d2) = conversation(&a, &["connect 9"]);
+        let (_bc, bd) = conversation(&b, &["connect 9"]);
+        let mut pkt = mac(1).to_vec();
+        pkt.extend_from_slice(b"copied");
+        b.write(&bd, 0, &pkt).unwrap();
+        // Both conversations on a receive a copy.
+        assert_eq!(parse_frame(&a.read(&d1, 0, 2048).unwrap()).unwrap().payload, b"copied");
+        assert_eq!(parse_frame(&a.read(&d2, 0, 2048).unwrap()).unwrap().payload, b"copied");
+    }
+
+    #[test]
+    fn promiscuous_minus_one_sees_everything() {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = EtherDev::new(seg.attach(mac(1)));
+        let b = EtherDev::new(seg.attach(mac(2)));
+        let c = EtherDev::new(seg.attach(mac(3)));
+        // The snooper on c: promiscuous + connect -1 (§2.2).
+        let (_cc, cd) = conversation(&c, &["promiscuous", "connect -1"]);
+        // b sends to a, type 7 — nothing to do with c.
+        let (_bc, bd) = conversation(&b, &["connect 7"]);
+        let (_ac, _ad) = conversation(&a, &["connect 7"]);
+        let mut pkt = mac(1).to_vec();
+        pkt.extend_from_slice(b"sniffed");
+        b.write(&bd, 0, &pkt).unwrap();
+        let frame = parse_frame(&c.read(&cd, 0, 2048).unwrap()).unwrap();
+        assert_eq!(frame.payload, b"sniffed");
+        assert_eq!(frame.dst, mac(1));
+    }
+
+    #[test]
+    fn non_promiscuous_filters_foreign_addresses() {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = EtherDev::new(seg.attach(mac(1)));
+        let b = EtherDev::new(seg.attach(mac(2)));
+        let c = EtherDev::new(seg.attach(mac(3)));
+        let (_cc, _cd) = conversation(&c, &["connect 7"]);
+        let (_bc, bd) = conversation(&b, &["connect 7"]);
+        let (_ac, ad) = conversation(&a, &["connect 7"]);
+        let mut pkt = mac(1).to_vec();
+        pkt.extend_from_slice(b"private");
+        b.write(&bd, 0, &pkt).unwrap();
+        // a sees it...
+        assert_eq!(parse_frame(&a.read(&ad, 0, 2048).unwrap()).unwrap().payload, b"private");
+        // ...c never routed it (it was addressed to a).
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(c.in_packets.load(Ordering::Relaxed), 1);
+        assert_eq!(c.unrouted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_file_reports_interface() {
+        let (dev, _) = two_devs();
+        let (_ctl, _d) = conversation(&dev, &["connect 2048"]);
+        let root = dev.attach("u", "").unwrap();
+        let mut s = root;
+        for elem in ["1", "stats"] {
+            s = dev.walk(&s, elem).unwrap();
+        }
+        let s = dev.open(&s, OpenMode::READ).unwrap();
+        let text = String::from_utf8(dev.read(&s, 0, 4096).unwrap()).unwrap();
+        assert!(text.contains("addr: 080069022201"), "{text}");
+        assert!(text.contains("out:"), "{text}");
+    }
+
+    #[test]
+    fn write_before_connect_refused() {
+        let (dev, _) = two_devs();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let _ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        let mut d = dev.attach("u", "").unwrap();
+        for elem in ["1", "data"] {
+            d = dev.walk(&d, elem).unwrap();
+        }
+        let d = dev.open(&d, OpenMode::RDWR).unwrap();
+        let mut pkt = mac(2).to_vec();
+        pkt.push(0);
+        let err = dev.write(&d, 0, &pkt).unwrap_err();
+        assert!(err.0.contains("packet type not set"), "{err}");
+    }
+}

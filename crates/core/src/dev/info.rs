@@ -1,0 +1,153 @@
+//! Read-only information files backed by closures.
+//!
+//! Plan 9 scatters small synthesized text files through the name space —
+//! `/dev/sysname`, `/net/arp`, and friends. [`InfoFs`] serves a flat
+//! directory of such files; each read re-evaluates its generator, so the
+//! contents are always current, like the `stats` files of §2.2.
+
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Generates the current contents of one info file.
+pub type InfoGen = Box<dyn Fn() -> String + Send + Sync>;
+
+/// A flat directory of generated read-only files.
+pub struct InfoFs {
+    name: String,
+    files: Vec<(String, InfoGen)>,
+    handles: AtomicU64,
+}
+
+impl InfoFs {
+    /// Creates the server from `(name, generator)` pairs.
+    pub fn new(name: &str, files: Vec<(String, InfoGen)>) -> Arc<InfoFs> {
+        Arc::new(InfoFs {
+            name: name.to_string(),
+            files,
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn entries(&self) -> Vec<Dir> {
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| {
+                Dir::file(name, Qid::file(i as u32 + 1, 0), 0o444, "info", 0)
+            })
+            .collect()
+    }
+
+    fn index_of(&self, q: Qid) -> Result<usize> {
+        let p = q.path_bits() as usize;
+        if p == 0 || p > self.files.len() {
+            return Err(NineError::new(errstr::EBADUSE));
+        }
+        Ok(p - 1)
+    }
+}
+
+impl ProcFs for InfoFs {
+    fn fsname(&self) -> String {
+        self.name.clone()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            Qid::dir(0, 0),
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            n.qid,
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        if !n.qid.is_dir() {
+            return Err(NineError::new(errstr::ENOTDIR));
+        }
+        if name == ".." {
+            return Ok(*n);
+        }
+        self.entries()
+            .into_iter()
+            .find(|d| d.name == name)
+            .map(|d| ServeNode::new(d.qid, n.handle))
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        if mode.writable() {
+            return Err(NineError::new(errstr::EPERM));
+        }
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        if n.qid.is_dir() {
+            return read_dir_slice(&self.entries(), offset, count);
+        }
+        let idx = self.index_of(n.qid)?;
+        let text = (self.files[idx].1)().into_bytes();
+        let off = (offset as usize).min(text.len());
+        let end = (off + count).min(text.len());
+        Ok(text[off..end].to_vec())
+    }
+
+    fn write(&self, _n: &ServeNode, _offset: u64, _data: &[u8]) -> Result<usize> {
+        Err(NineError::new(errstr::EPERM))
+    }
+
+    fn clunk(&self, _n: &ServeNode) {}
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        if n.qid.is_dir() {
+            return Ok(Dir::directory(&self.name, Qid::dir(0, 0), 0o555, "info"));
+        }
+        let idx = self.index_of(n.qid)?;
+        Ok(self.entries().remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_regenerate_per_read() {
+        use std::sync::atomic::AtomicU32;
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&counter);
+        let fs = InfoFs::new(
+            "info",
+            vec![(
+                "tick".to_string(),
+                Box::new(move || format!("{}", c.fetch_add(1, Ordering::Relaxed))) as InfoGen,
+            )],
+        );
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "tick").unwrap();
+        let f = fs.open(&f, OpenMode::READ).unwrap();
+        assert_eq!(fs.read(&f, 0, 10).unwrap(), b"0");
+        assert_eq!(fs.read(&f, 0, 10).unwrap(), b"1");
+    }
+
+    #[test]
+    fn read_only() {
+        let fs = InfoFs::new(
+            "info",
+            vec![("x".to_string(), Box::new(|| "x".to_string()) as InfoGen)],
+        );
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "x").unwrap();
+        assert!(fs.open(&f, OpenMode::WRITE).is_err());
+        assert!(fs.write(&f, 0, b"no").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Kernel-resident device file systems.
+//!
+//! "Each device driver is a kernel-resident file system" (§2.2). The
+//! protocol devices all look identical so user programs contain no
+//! network-specific code (§2.3); the Ethernet device is the two-level
+//! tree of Figure 1; the `eia` device is the pair of files per UART that
+//! opens §2.2.
+
+pub mod eia;
+pub mod ether;
+pub mod info;
+pub mod pipedev;
+pub mod proto;
+
+pub use eia::EiaDev;
+pub use info::{InfoFs, InfoGen};
+pub use pipedev::PipeFs;
+pub use ether::EtherDev;
+pub use proto::{AnnounceOps, ConnOps, ProtoDev, ProtoOps};

@@ -1,0 +1,791 @@
+//! The generic protocol device (§2.3).
+//!
+//! "All protocol devices look identical so user programs contain no
+//! network-specific code." The device serves:
+//!
+//! ```text
+//! /net/tcp/clone
+//! /net/tcp/0/{ctl data listen local remote status}
+//! /net/tcp/1/...
+//! ```
+//!
+//! Opening `clone` reserves an unused connection and yields a channel to
+//! its `ctl` file; reading the `ctl` file returns the connection number;
+//! writing `connect <addr>` establishes the connection; the `data` file
+//! carries the conversation; opening `listen` blocks for an incoming
+//! call and yields the `ctl` file of a *new* connection. All control is
+//! ASCII, so it works transparently across machines and byte orders.
+//!
+//! The protocol itself plugs in through [`ProtoOps`]; TCP, UDP, IL and
+//! Datakit/URP implementations live in [`crate::machine`].
+
+use parking_lot::Mutex;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One established conversation, however the protocol implements it.
+pub trait ConnOps: Send + Sync {
+    /// Sends one message (delimited protocols) or chunk (TCP).
+    fn send(&self, msg: &[u8]) -> Result<()>;
+    /// Blocks for the next message/chunk; `None` is end-of-file.
+    fn recv(&self) -> Result<Option<Vec<u8>>>;
+    /// The `local` file contents.
+    fn local(&self) -> String;
+    /// The `remote` file contents.
+    fn remote(&self) -> String;
+    /// The `status` file contents.
+    fn status(&self) -> String;
+    /// Hang up.
+    fn close(&self);
+}
+
+/// An announcement: a service listening for calls.
+pub trait AnnounceOps: Send + Sync {
+    /// Blocks until a call arrives and returns the new conversation.
+    fn listen(&self) -> Result<Arc<dyn ConnOps>>;
+    /// The announced local address.
+    fn local(&self) -> String;
+}
+
+/// A protocol: how to place and receive calls.
+pub trait ProtoOps: Send + Sync {
+    /// The directory name under `/net` (`tcp`, `il`, `udp`, `dk`).
+    fn proto(&self) -> String;
+    /// Dials `addr` (protocol-specific ASCII, e.g. `135.104.9.31!564`).
+    fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>>;
+    /// Announces a service (`*!564`, `nj/astro/helix!9fs`).
+    fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>>;
+}
+
+enum ConnState {
+    Idle,
+    Connected(Arc<dyn ConnOps>),
+    Announced(Box<dyn AnnounceOps>),
+}
+
+struct Conn {
+    id: usize,
+    state: Mutex<ConnState>,
+    /// Open channels referencing files in this connection directory.
+    refs: Mutex<usize>,
+    /// Remainder of a message only partially consumed by a short read.
+    pending: Mutex<Vec<u8>>,
+}
+
+impl Conn {
+    fn status_line(&self, proto: &str) -> String {
+        let state = self.state.lock();
+        match &*state {
+            ConnState::Idle => format!("{}/{} 0 Closed\n", proto, self.id),
+            ConnState::Connected(c) => {
+                format!("{}/{} 1 {} connect\n", proto, self.id, c.status())
+            }
+            ConnState::Announced(a) => {
+                format!("{}/{} 1 Announced {}\n", proto, self.id, a.local())
+            }
+        }
+    }
+}
+
+// Qid layout: top dir = 0; clone = 1; connection c uses
+// ((c + 1) << 4) | file-type.
+const Q_TOP: u32 = 0;
+const Q_CLONE: u32 = 1;
+const T_DIR: u32 = 1;
+const T_CTL: u32 = 2;
+const T_DATA: u32 = 3;
+const T_LISTEN: u32 = 4;
+const T_LOCAL: u32 = 5;
+const T_REMOTE: u32 = 6;
+const T_STATUS: u32 = 7;
+
+fn conn_qid(conn: usize, typ: u32) -> Qid {
+    let path = ((conn as u32 + 1) << 4) | typ;
+    if typ == T_DIR {
+        Qid::dir(path, 0)
+    } else {
+        Qid::file(path, 0)
+    }
+}
+
+fn split_qid(q: Qid) -> Option<(usize, u32)> {
+    let p = q.path_bits();
+    if p < 16 {
+        return None;
+    }
+    Some(((p >> 4) as usize - 1, p & 0xf))
+}
+
+/// The device: a [`ProcFs`] exposing one protocol's conversations.
+pub struct ProtoDev {
+    ops: Box<dyn ProtoOps>,
+    conns: Mutex<HashMap<usize, Arc<Conn>>>,
+    next_conn: Mutex<usize>,
+    handles: AtomicU64,
+    /// handle → connection whose refcount it holds.
+    open_refs: Mutex<HashMap<u64, usize>>,
+}
+
+impl ProtoDev {
+    /// Wraps a protocol in the standard device tree.
+    pub fn new(ops: Box<dyn ProtoOps>) -> Arc<ProtoDev> {
+        Arc::new(ProtoDev {
+            ops,
+            conns: Mutex::new(HashMap::new()),
+            next_conn: Mutex::new(0),
+            handles: AtomicU64::new(1),
+            open_refs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The number of live connection directories (diagnostics).
+    pub fn conn_count(&self) -> usize {
+        self.conns.lock().len()
+    }
+
+    fn fresh_handle(&self) -> u64 {
+        self.handles.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn alloc_conn(&self) -> Arc<Conn> {
+        let mut next = self.next_conn.lock();
+        let id = *next;
+        *next += 1;
+        let conn = Arc::new(Conn {
+            id,
+            state: Mutex::new(ConnState::Idle),
+            refs: Mutex::new(0),
+            pending: Mutex::new(Vec::new()),
+        });
+        self.conns.lock().insert(id, Arc::clone(&conn));
+        conn
+    }
+
+    fn conn(&self, id: usize) -> Result<Arc<Conn>> {
+        self.conns
+            .lock()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+
+    /// Takes an open reference on `conn` for `handle`.
+    fn take_ref(&self, handle: u64, conn: &Arc<Conn>) {
+        *conn.refs.lock() += 1;
+        self.open_refs.lock().insert(handle, conn.id);
+    }
+
+    fn conn_dir_entries(&self, conn: &Conn) -> Vec<Dir> {
+        let owner = "network";
+        let c = conn.id;
+        vec![
+            Dir::file("ctl", conn_qid(c, T_CTL), 0o660, owner, 0),
+            Dir::file("data", conn_qid(c, T_DATA), 0o660, owner, 0),
+            Dir::file("listen", conn_qid(c, T_LISTEN), 0o660, owner, 0),
+            Dir::file("local", conn_qid(c, T_LOCAL), 0o444, owner, 0),
+            Dir::file("remote", conn_qid(c, T_REMOTE), 0o444, owner, 0),
+            Dir::file("status", conn_qid(c, T_STATUS), 0o444, owner, 0),
+        ]
+        .into_iter()
+        .map(|mut d| {
+            d.dev_type = b'I' as u16;
+            d
+        })
+        .collect()
+    }
+
+    fn top_entries(&self) -> Vec<Dir> {
+        let mut out = vec![Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0)];
+        let conns = self.conns.lock();
+        let mut ids: Vec<usize> = conns.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            out.push(Dir::directory(
+                &id.to_string(),
+                conn_qid(id, T_DIR),
+                0o555,
+                "network",
+            ));
+        }
+        out
+    }
+
+    fn ctl_command(&self, conn: &Arc<Conn>, cmd: &str) -> Result<()> {
+        let fields: Vec<&str> = cmd.split_whitespace().collect();
+        match fields.as_slice() {
+            ["connect", addr, ..] => {
+                let c = self.ops.connect(addr)?;
+                *conn.state.lock() = ConnState::Connected(c);
+                Ok(())
+            }
+            ["announce", addr] => {
+                let a = self.ops.announce(addr)?;
+                *conn.state.lock() = ConnState::Announced(a);
+                Ok(())
+            }
+            ["hangup"] | ["close"] => {
+                let mut state = conn.state.lock();
+                if let ConnState::Connected(c) = &*state {
+                    c.close();
+                }
+                *state = ConnState::Idle;
+                Ok(())
+            }
+            // "Networks such as IP ignore the third argument" (§5.2):
+            // reject is a close with a reason we note but cannot always
+            // deliver.
+            ["reject", ..] => {
+                let mut state = conn.state.lock();
+                if let ConnState::Connected(c) = &*state {
+                    c.close();
+                }
+                *state = ConnState::Idle;
+                Ok(())
+            }
+            _ => Err(NineError::new(format!("unknown control request: {cmd}"))),
+        }
+    }
+}
+
+impl ProcFs for ProtoDev {
+    fn fsname(&self) -> String {
+        self.ops.proto()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(Qid::dir(Q_TOP, 0), self.fresh_handle()))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        // Open references stay with the original handle.
+        Ok(ServeNode::new(n.qid, self.fresh_handle()))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        let q = n.qid;
+        if q.path_bits() == Q_TOP && q.is_dir() {
+            if name == ".." {
+                return Ok(*n);
+            }
+            if name == "clone" {
+                return Ok(ServeNode::new(Qid::file(Q_CLONE, 0), n.handle));
+            }
+            if let Ok(id) = name.parse::<usize>() {
+                self.conn(id)?;
+                return Ok(ServeNode::new(conn_qid(id, T_DIR), n.handle));
+            }
+            return Err(NineError::new(errstr::ENOTEXIST));
+        }
+        if let Some((id, T_DIR)) = split_qid(q) {
+            if name == ".." {
+                return Ok(ServeNode::new(Qid::dir(Q_TOP, 0), n.handle));
+            }
+            let typ = match name {
+                "ctl" => T_CTL,
+                "data" => T_DATA,
+                "listen" => T_LISTEN,
+                "local" => T_LOCAL,
+                "remote" => T_REMOTE,
+                "status" => T_STATUS,
+                _ => return Err(NineError::new(errstr::ENOTEXIST)),
+            };
+            self.conn(id)?;
+            return Ok(ServeNode::new(conn_qid(id, typ), n.handle));
+        }
+        Err(NineError::new(errstr::ENOTDIR))
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        let q = n.qid;
+        if q.is_dir() {
+            if mode.access() != 0 {
+                return Err(NineError::new(errstr::EISDIR));
+            }
+            if let Some((id, T_DIR)) = split_qid(q) {
+                let conn = self.conn(id)?;
+                self.take_ref(n.handle, &conn);
+            }
+            return Ok(*n);
+        }
+        if q.path_bits() == Q_CLONE {
+            // Reserve an unused connection; the channel now points at
+            // its ctl file.
+            let conn = self.alloc_conn();
+            self.take_ref(n.handle, &conn);
+            return Ok(ServeNode::new(conn_qid(conn.id, T_CTL), n.handle));
+        }
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conn = self.conn(id)?;
+        match typ {
+            T_LISTEN => {
+                // Block for an incoming call; the channel ends up at the
+                // new connection's ctl file.
+                let listener = {
+                    let state = conn.state.lock();
+                    match &*state {
+                        ConnState::Announced(_) => {}
+                        _ => return Err(NineError::new("not announced")),
+                    }
+                    drop(state);
+                    conn
+                };
+                // Call listen without holding the state lock; we need to
+                // re-enter the state to reach the AnnounceOps. Keep the
+                // lock during the blocking call is unacceptable; instead
+                // the AnnounceOps is used through a raw pointer-free
+                // trick: a second lock acquisition per call.
+                let accepted = {
+                    let state = listener.state.lock();
+                    match &*state {
+                        ConnState::Announced(a) => {
+                            // The announce objects are internally
+                            // synchronized and listen() blocks; parking_lot
+                            // locks are not reentrant, so hold only what we
+                            // must. We temporarily move the call out via
+                            // the trait object reference. Blocking while
+                            // holding this conn's state lock is acceptable:
+                            // only this connection's files contend on it.
+                            a.listen()?
+                        }
+                        _ => return Err(NineError::new("not announced")),
+                    }
+                };
+                let newc = self.alloc_conn();
+                *newc.state.lock() = ConnState::Connected(accepted);
+                self.take_ref(n.handle, &newc);
+                Ok(ServeNode::new(conn_qid(newc.id, T_CTL), n.handle))
+            }
+            T_DATA => {
+                // "When the data file is opened the connection is
+                // established."
+                let state = conn.state.lock();
+                match &*state {
+                    ConnState::Connected(_) => {}
+                    _ => return Err(NineError::new("not connected")),
+                }
+                drop(state);
+                self.take_ref(n.handle, &conn);
+                Ok(*n)
+            }
+            _ => {
+                self.take_ref(n.handle, &conn);
+                Ok(*n)
+            }
+        }
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        let q = n.qid;
+        if q.is_dir() && q.path_bits() == Q_TOP {
+            return read_dir_slice(&self.top_entries(), offset, count);
+        }
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conn = self.conn(id)?;
+        if q.is_dir() {
+            return read_dir_slice(&self.conn_dir_entries(&conn), offset, count);
+        }
+        let text = |s: String| -> Result<Vec<u8>> {
+            let bytes = s.into_bytes();
+            let off = (offset as usize).min(bytes.len());
+            let end = (off + count).min(bytes.len());
+            Ok(bytes[off..end].to_vec())
+        };
+        match typ {
+            // "Reading the control file returns the ASCII connection
+            // number."
+            T_CTL => text(conn.id.to_string()),
+            T_DATA => {
+                // Serve any remainder of a previous short read first so
+                // no bytes are lost (stream read semantics, §2.4.1).
+                {
+                    let mut pending = conn.pending.lock();
+                    if !pending.is_empty() {
+                        let n = pending.len().min(count);
+                        return Ok(pending.drain(..n).collect());
+                    }
+                }
+                let ops = {
+                    let state = conn.state.lock();
+                    match &*state {
+                        ConnState::Connected(c) => Arc::clone(c),
+                        _ => return Err(NineError::new("not connected")),
+                    }
+                };
+                match ops.recv()? {
+                    Some(msg) => {
+                        if msg.len() > count {
+                            let mut pending = conn.pending.lock();
+                            pending.extend_from_slice(&msg[count..]);
+                            Ok(msg[..count].to_vec())
+                        } else {
+                            Ok(msg)
+                        }
+                    }
+                    None => Ok(Vec::new()),
+                }
+            }
+            T_LOCAL => {
+                let state = conn.state.lock();
+                match &*state {
+                    ConnState::Connected(c) => {
+                        let s = format!("{}\n", c.local());
+                        drop(state);
+                        text(s)
+                    }
+                    ConnState::Announced(a) => {
+                        let s = format!("{}\n", a.local());
+                        drop(state);
+                        text(s)
+                    }
+                    _ => text("::\n".to_string()),
+                }
+            }
+            T_REMOTE => {
+                let state = conn.state.lock();
+                match &*state {
+                    ConnState::Connected(c) => {
+                        let s = format!("{}\n", c.remote());
+                        drop(state);
+                        text(s)
+                    }
+                    _ => text("::\n".to_string()),
+                }
+            }
+            T_STATUS => text(conn.status_line(&self.ops.proto())),
+            T_LISTEN => Err(NineError::new(errstr::EBADUSE)),
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        let q = n.qid;
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conn = self.conn(id)?;
+        match typ {
+            T_CTL => {
+                let cmd = std::str::from_utf8(data)
+                    .map_err(|_| NineError::new("control request is not text"))?;
+                self.ctl_command(&conn, cmd.trim())?;
+                Ok(data.len())
+            }
+            T_DATA => {
+                let ops = {
+                    let state = conn.state.lock();
+                    match &*state {
+                        ConnState::Connected(c) => Arc::clone(c),
+                        _ => return Err(NineError::new("not connected")),
+                    }
+                };
+                ops.send(data)?;
+                Ok(data.len())
+            }
+            _ => Err(NineError::new(errstr::EPERM)),
+        }
+    }
+
+    fn clunk(&self, n: &ServeNode) {
+        let conn_id = self.open_refs.lock().remove(&n.handle);
+        if let Some(id) = conn_id {
+            let conn = { self.conns.lock().get(&id).cloned() };
+            if let Some(conn) = conn {
+                let mut refs = conn.refs.lock();
+                *refs = refs.saturating_sub(1);
+                if *refs == 0 {
+                    // "A connection remains established while any of the
+                    // files in the connection directory are referenced."
+                    let mut state = conn.state.lock();
+                    if let ConnState::Connected(c) = &*state {
+                        c.close();
+                    }
+                    *state = ConnState::Idle;
+                    drop(state);
+                    drop(refs);
+                    self.conns.lock().remove(&id);
+                }
+            }
+        }
+    }
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        let q = n.qid;
+        if q.path_bits() == Q_TOP {
+            return Ok(Dir::directory(
+                &self.ops.proto(),
+                Qid::dir(Q_TOP, 0),
+                0o555,
+                "network",
+            ));
+        }
+        if q.path_bits() == Q_CLONE {
+            return Ok(Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0));
+        }
+        let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
+        let conn = self.conn(id)?;
+        if typ == T_DIR {
+            return Ok(Dir::directory(
+                &id.to_string(),
+                conn_qid(id, T_DIR),
+                0o555,
+                "network",
+            ));
+        }
+        let entries = self.conn_dir_entries(&conn);
+        entries
+            .into_iter()
+            .find(|d| d.qid == q)
+            .ok_or_else(|| NineError::new(errstr::ENOTEXIST))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+
+    /// A toy in-memory protocol: "addresses" name rendezvous queues.
+    struct Rendezvous {
+        boards: Mutex<HashMap<String, Sender<LoopConn>>>,
+    }
+
+    struct LoopConn {
+        tx: Sender<Vec<u8>>,
+        rx: Receiver<Vec<u8>>,
+        addr: String,
+    }
+
+    impl ConnOps for LoopConn {
+        fn send(&self, msg: &[u8]) -> Result<()> {
+            self.tx
+                .send(msg.to_vec())
+                .map_err(|_| NineError::new("hungup"))
+        }
+        fn recv(&self) -> Result<Option<Vec<u8>>> {
+            Ok(self.rx.recv().ok())
+        }
+        fn local(&self) -> String {
+            "local".to_string()
+        }
+        fn remote(&self) -> String {
+            self.addr.clone()
+        }
+        fn status(&self) -> String {
+            "Established".to_string()
+        }
+        fn close(&self) {}
+    }
+
+    struct ToyProto {
+        rdv: Arc<Rendezvous>,
+    }
+
+    struct ToyAnnounce {
+        rx: Receiver<LoopConn>,
+        addr: String,
+    }
+
+    impl AnnounceOps for ToyAnnounce {
+        fn listen(&self) -> Result<Arc<dyn ConnOps>> {
+            self.rx
+                .recv()
+                .map(|c| Arc::new(c) as Arc<dyn ConnOps>)
+                .map_err(|_| NineError::new("hungup"))
+        }
+        fn local(&self) -> String {
+            self.addr.clone()
+        }
+    }
+
+    impl ProtoOps for ToyProto {
+        fn proto(&self) -> String {
+            "toy".to_string()
+        }
+        fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>> {
+            let boards = self.rdv.boards.lock();
+            let tx = boards
+                .get(addr)
+                .ok_or_else(|| NineError::new("connection refused"))?;
+            let (atx, arx) = unbounded();
+            let (btx, brx) = unbounded();
+            tx.send(LoopConn {
+                tx: btx,
+                rx: arx,
+                addr: "caller".to_string(),
+            })
+            .map_err(|_| NineError::new("hungup"))?;
+            Ok(Arc::new(LoopConn {
+                tx: atx,
+                rx: brx,
+                addr: addr.to_string(),
+            }))
+        }
+        fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>> {
+            let (tx, rx) = unbounded();
+            self.rdv.boards.lock().insert(addr.to_string(), tx);
+            Ok(Box::new(ToyAnnounce {
+                rx,
+                addr: addr.to_string(),
+            }))
+        }
+    }
+
+    fn toy_dev() -> (Arc<ProtoDev>, Arc<ProtoDev>) {
+        let rdv = Arc::new(Rendezvous {
+            boards: Mutex::new(HashMap::new()),
+        });
+        let a = ProtoDev::new(Box::new(ToyProto {
+            rdv: Arc::clone(&rdv),
+        }));
+        let b = ProtoDev::new(Box::new(ToyProto { rdv }));
+        (a, b)
+    }
+
+    #[test]
+    fn clone_reserves_connection_and_ctl_reports_number() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        assert_eq!(dev.read(&ctl, 0, 16).unwrap(), b"0");
+        // A second clone gets connection 1.
+        let root2 = dev.attach("u", "").unwrap();
+        let clone2 = dev.walk(&root2, "clone").unwrap();
+        let ctl2 = dev.open(&clone2, OpenMode::RDWR).unwrap();
+        assert_eq!(dev.read(&ctl2, 0, 16).unwrap(), b"1");
+    }
+
+    #[test]
+    fn paper_connection_steps() {
+        let (dev_a, dev_b) = toy_dev();
+        // Server side: announce + listen in a thread.
+        let server = {
+            let dev_b = Arc::clone(&dev_b);
+            std::thread::spawn(move || {
+                let root = dev_b.attach("srv", "").unwrap();
+                let clone = dev_b.walk(&root, "clone").unwrap();
+                let actl = dev_b.open(&clone, OpenMode::RDWR).unwrap();
+                dev_b.write(&actl, 0, b"announce here").unwrap();
+                let n = dev_b.read(&actl, 0, 16).unwrap();
+                let adir = String::from_utf8(n).unwrap();
+                // open listen — blocks until a call.
+                let root2 = dev_b.attach("srv", "").unwrap();
+                let mut lnode = root2;
+                for elem in [adir.as_str(), "listen"] {
+                    lnode = dev_b.walk(&lnode, elem).unwrap();
+                }
+                let newctl = dev_b.open(&lnode, OpenMode::RDWR).unwrap();
+                let newid = String::from_utf8(dev_b.read(&newctl, 0, 16).unwrap()).unwrap();
+                // Open the new connection's data file and echo.
+                let root3 = dev_b.attach("srv", "").unwrap();
+                let mut dnode = root3;
+                for elem in [newid.as_str(), "data"] {
+                    dnode = dev_b.walk(&dnode, elem).unwrap();
+                }
+                let data = dev_b.open(&dnode, OpenMode::RDWR).unwrap();
+                let msg = dev_b.read(&data, 0, 100).unwrap();
+                dev_b.write(&data, 0, &msg).unwrap();
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // Client side: the four steps of §2.3.
+        let root = dev_a.attach("cli", "").unwrap();
+        // 1) open the clone file.
+        let clone = dev_a.walk(&root, "clone").unwrap();
+        let ctl = dev_a.open(&clone, OpenMode::RDWR).unwrap();
+        // 2) read the connection number.
+        let id = String::from_utf8(dev_a.read(&ctl, 0, 16).unwrap()).unwrap();
+        // 3) write the address to ctl.
+        dev_a.write(&ctl, 0, b"connect here").unwrap();
+        // 4) open the data file.
+        let root2 = dev_a.attach("cli", "").unwrap();
+        let mut dnode = root2;
+        for elem in [id.as_str(), "data"] {
+            dnode = dev_a.walk(&dnode, elem).unwrap();
+        }
+        let data = dev_a.open(&dnode, OpenMode::RDWR).unwrap();
+        dev_a.write(&data, 0, b"echo me").unwrap();
+        assert_eq!(dev_a.read(&data, 0, 100).unwrap(), b"echo me");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn status_files_read_like_the_paper() {
+        let (dev_a, dev_b) = toy_dev();
+        let rootb = dev_b.attach("srv", "").unwrap();
+        let cloneb = dev_b.walk(&rootb, "clone").unwrap();
+        let actl = dev_b.open(&cloneb, OpenMode::RDWR).unwrap();
+        dev_b.write(&actl, 0, b"announce spot").unwrap();
+        let root = dev_a.attach("cli", "").unwrap();
+        let clone = dev_a.walk(&root, "clone").unwrap();
+        let ctl = dev_a.open(&clone, OpenMode::RDWR).unwrap();
+        dev_a.write(&ctl, 0, b"connect spot").unwrap();
+        // cat local remote status
+        let conn_dir = dev_a.walk(&dev_a.attach("cli", "").unwrap(), "0").unwrap();
+        let local = dev_a.walk(&conn_dir, "local").unwrap();
+        let local = dev_a.open(&local, OpenMode::READ).unwrap();
+        assert_eq!(dev_a.read(&local, 0, 100).unwrap(), b"local\n");
+        let remote = dev_a.walk(&conn_dir, "remote").unwrap();
+        let remote = dev_a.open(&remote, OpenMode::READ).unwrap();
+        assert_eq!(dev_a.read(&remote, 0, 100).unwrap(), b"spot\n");
+        let status = dev_a.walk(&conn_dir, "status").unwrap();
+        let status = dev_a.open(&status, OpenMode::READ).unwrap();
+        let text = String::from_utf8(dev_a.read(&status, 0, 100).unwrap()).unwrap();
+        assert!(text.starts_with("toy/0 1 Established connect"), "{text}");
+    }
+
+    #[test]
+    fn data_before_connect_refused() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let _ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        let data = dev
+            .walk(&dev.attach("u", "").unwrap(), "0")
+            .and_then(|n| dev.walk(&n, "data"))
+            .unwrap();
+        let err = dev.open(&data, OpenMode::RDWR).unwrap_err();
+        assert_eq!(err.0, "not connected");
+    }
+
+    #[test]
+    fn bad_ctl_command_is_error() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        let err = dev.write(&ctl, 0, b"frobnicate 7").unwrap_err();
+        assert!(err.0.contains("unknown control request"), "{err}");
+    }
+
+    #[test]
+    fn connection_torn_down_when_last_ref_clunked() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        assert_eq!(dev.conn_count(), 1);
+        dev.clunk(&ctl);
+        assert_eq!(dev.conn_count(), 0);
+        // The directory is gone.
+        let err = dev.walk(&root, "0").unwrap_err();
+        assert_eq!(err.0, errstr::ENOTEXIST);
+    }
+
+    #[test]
+    fn top_listing_shows_clone_and_conns() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let clone = dev.walk(&root, "clone").unwrap();
+        let _ctl = dev.open(&clone, OpenMode::RDWR).unwrap();
+        let entries = dev
+            .read(&root, 0, 4096)
+            .unwrap()
+            .chunks(plan9_ninep::dir::DIR_LEN)
+            .map(|c| Dir::decode(c).unwrap().name)
+            .collect::<Vec<_>>();
+        assert_eq!(entries, vec!["clone", "0"]);
+    }
+}

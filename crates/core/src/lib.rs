@@ -1,0 +1,36 @@
+//! The core of the reproduction: Plan 9's network organization.
+//!
+//! This crate assembles the paper's machinery the way the kernel does:
+//!
+//! * [`namespace`] — per-process name spaces built from mount and bind
+//!   operations, with union directories ("Local entries supersede remote
+//!   ones of the same name", §6.1).
+//! * [`proc`] — a simulated process: a name space plus a file-descriptor
+//!   table, with `open`/`read`/`write`/`create`/`mount` system calls.
+//! * [`mountdrv`] — the mount driver (§2.1): converts the procedural 9P
+//!   used inside the kernel into RPCs carried by any transport, and
+//!   demultiplexes the processes using one file server.
+//! * [`dev`] — kernel-resident device file systems: the Ethernet device
+//!   of Figure 1, protocol devices (`/net/tcp`, `/net/il`, `/net/udp`,
+//!   `/net/dk`, §2.3), and the `eia` UARTs (§2.2).
+//! * [`dial`] — the §5 library: `dial`, `announce`, `listen`, `accept`,
+//!   `reject`.
+//! * [`machine`] — glues it all together: a simulated Plan 9 machine
+//!   with interfaces, devices, a connection server and DNS mounted at
+//!   `/net`, ready to run processes.
+
+pub mod dev;
+pub mod dial;
+pub mod machine;
+pub mod mountdrv;
+pub mod namespace;
+pub mod proc;
+
+pub use dial::{announce, dial, listen, accept, reject, DialResult};
+pub use machine::{Machine, MachineBuilder};
+pub use mountdrv::MountDriver;
+pub use namespace::{Namespace, Source, MAFTER, MBEFORE, MREPL};
+pub use proc::Proc;
+
+/// Result alias matching the rest of the system.
+pub type Result<T> = plan9_ninep::Result<T>;

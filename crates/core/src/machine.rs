@@ -1,0 +1,777 @@
+//! Assembling a simulated Plan 9 machine.
+//!
+//! A [`Machine`] owns the hardware-facing pieces (an Ethernet station
+//! with its IP stack, a Datakit line, UARTs), the kernel devices built
+//! over them, the network database, and the user-level servers (CS,
+//! DNS). Its default name space is the conventional one (§6): protocol
+//! devices mounted in `/net`, `cs` and `dns` union-mounted alongside,
+//! `eia` lines in `/dev`, the database under `/lib/ndb`.
+
+use crate::dev::proto::{AnnounceOps, ConnOps, ProtoDev, ProtoOps};
+use crate::dev::{EiaDev, EtherDev};
+use crate::namespace::{Namespace, Source, MAFTER, MREPL};
+use crate::proc::Proc;
+use parking_lot::Mutex;
+use plan9_cs::{CsConfig, CsServer, DnsServer, NetworkDecl, SimInternet};
+use plan9_datakit::urp::{urp_dial, UrpConn};
+use plan9_inet::ip::{IpConfig, IpStack};
+use plan9_inet::IpAddr;
+use plan9_ndb::Db;
+use plan9_netsim::ether::{EtherSegment, MacAddr};
+use plan9_netsim::fabric::{DatakitLine, DatakitSwitch};
+use plan9_netsim::uart::UartEnd;
+use plan9_ninep::procfs::{MemFs, ProcFs};
+use plan9_ninep::{NineError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default ndb service map, matching the paper's §4.1 listing plus the
+/// conventional Plan 9 ports.
+pub const SERVICES_NDB: &str = "\
+tcp=echo port=7
+tcp=discard port=9
+tcp=systat port=11
+tcp=daytime port=13
+tcp=login port=513
+tcp=9fs port=564
+tcp=exportfs port=565
+tcp=ftp port=21
+tcp=telnet port=23
+il=9fs port=17008
+il=rexauth port=17021
+il=echo port=17007
+il=exportfs port=17009
+il=discard port=17013
+il=daytime port=17014
+udp=dns port=53
+udp=echo port=7
+";
+
+/// Builder for a [`Machine`].
+pub struct MachineBuilder {
+    name: String,
+    ether: Option<(Arc<EtherSegment>, MacAddr, IpConfig)>,
+    datakit: Option<(Arc<DatakitSwitch>, String)>,
+    uarts: Vec<UartEnd>,
+    ndb_texts: Vec<String>,
+    internet: Option<Arc<SimInternet>>,
+}
+
+impl MachineBuilder {
+    /// Starts a machine named `name` (its ndb `sys=` name).
+    pub fn new(name: &str) -> MachineBuilder {
+        MachineBuilder {
+            name: name.to_string(),
+            ether: None,
+            datakit: None,
+            uarts: Vec::new(),
+            ndb_texts: Vec::new(),
+            internet: None,
+        }
+    }
+
+    /// Attaches an Ethernet interface with the given station address and
+    /// IP configuration.
+    pub fn ether(mut self, seg: &Arc<EtherSegment>, mac: MacAddr, cfg: IpConfig) -> Self {
+        self.ether = Some((Arc::clone(seg), mac, cfg));
+        self
+    }
+
+    /// Attaches a Datakit line at the given address.
+    pub fn datakit(mut self, switch: &Arc<DatakitSwitch>, addr: &str) -> Self {
+        self.datakit = Some((Arc::clone(switch), addr.to_string()));
+        self
+    }
+
+    /// Adds a serial line (`/dev/eiaN`).
+    pub fn uart(mut self, end: UartEnd) -> Self {
+        self.uarts.push(end);
+        self
+    }
+
+    /// Adds network-database text (the machine also gets the standard
+    /// service map).
+    pub fn ndb(mut self, text: &str) -> Self {
+        self.ndb_texts.push(text.to_string());
+        self
+    }
+
+    /// Connects the machine's DNS to a simulated Internet.
+    pub fn internet(mut self, net: &Arc<SimInternet>) -> Self {
+        self.internet = Some(Arc::clone(net));
+        self
+    }
+
+    /// Builds and boots the machine.
+    pub fn build(self) -> Result<Arc<Machine>> {
+        // The root skeleton.
+        let rootfs = MemFs::new("root", "bootes");
+        for dir in ["/net", "/dev", "/tmp", "/n", "/lib/ndb"] {
+            rootfs.put_dir(dir)?;
+        }
+        let mut ndb_all: Vec<String> = self.ndb_texts.clone();
+        ndb_all.push(SERVICES_NDB.to_string());
+        rootfs.put_file("/lib/ndb/local", ndb_all.join("\n").as_bytes())?;
+        let db = Arc::new(Db::from_texts(
+            &ndb_all.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        ));
+        let root_dyn: Arc<dyn ProcFs> = rootfs.clone();
+        let ns = Namespace::new(Source::attach(&root_dyn, "bootes", "")?);
+        let mut networks = Vec::new();
+        // Ethernet + IP protocols.
+        let mut ip = None;
+        let mut ether_dev = None;
+        if let Some((seg, mac, cfg)) = &self.ether {
+            let stack = IpStack::new(seg.attach(*mac), cfg.clone());
+            // A second station with the same address gives the ether
+            // device its own view of the wire (Figure 1) without
+            // stealing frames from IP.
+            let dev = EtherDev::new(seg.attach(*mac));
+            rootfs.put_dir("/net/ether0")?;
+            let dev_dyn: Arc<dyn ProcFs> = dev.clone();
+            ns.mount(Source::attach(&dev_dyn, "bootes", "")?, "/net/ether0", MREPL)?;
+            for proto in ["il", "tcp", "udp"] {
+                let ops: Box<dyn ProtoOps> = match proto {
+                    "il" => Box::new(IlProto {
+                        stack: Arc::clone(&stack),
+                        db: Arc::clone(&db),
+                    }),
+                    "tcp" => Box::new(TcpProto {
+                        stack: Arc::clone(&stack),
+                        db: Arc::clone(&db),
+                    }),
+                    _ => Box::new(UdpProto {
+                        stack: Arc::clone(&stack),
+                        db: Arc::clone(&db),
+                    }),
+                };
+                let dev = ProtoDev::new(ops);
+                rootfs.put_dir(&format!("/net/{proto}"))?;
+                let dev_dyn: Arc<dyn ProcFs> = dev;
+                ns.mount(
+                    Source::attach(&dev_dyn, "bootes", "")?,
+                    &format!("/net/{proto}"),
+                    MREPL,
+                )?;
+                networks.push(NetworkDecl::ip(proto));
+            }
+            ip = Some(stack);
+            ether_dev = Some(dev);
+        }
+        // Datakit + URP.
+        let mut dk = None;
+        if let Some((switch, addr)) = &self.datakit {
+            let line = switch.attach(addr).map_err(NineError::new)?;
+            let dispatcher = DkDispatcher::start(line);
+            let dev = ProtoDev::new(Box::new(DkProto {
+                dispatcher: Arc::clone(&dispatcher),
+            }));
+            rootfs.put_dir("/net/dk")?;
+            let dev_dyn: Arc<dyn ProcFs> = dev;
+            ns.mount(Source::attach(&dev_dyn, "bootes", "")?, "/net/dk", MREPL)?;
+            networks.push(NetworkDecl::datakit("dk"));
+            dk = Some(dispatcher);
+        }
+        // UARTs.
+        if !self.uarts.is_empty() {
+            let dev = EiaDev::new(self.uarts);
+            let dev_dyn: Arc<dyn ProcFs> = dev;
+            ns.mount(Source::attach(&dev_dyn, "bootes", "")?, "/dev", MAFTER)?;
+        }
+        // Synthesized information files: /dev/sysname, and /net/arp for
+        // interface diagnostics (the ARP the LANCE driver exposes, §2.2).
+        {
+            let sysname = self.name.clone();
+            let mut dev_files: Vec<(String, crate::dev::InfoGen)> = vec![(
+                "sysname".to_string(),
+                Box::new(move || sysname.clone()),
+            )];
+            let user = "glenda".to_string();
+            dev_files.push(("user".to_string(), Box::new(move || user.clone())));
+            let dev_info = crate::dev::InfoFs::new("devinfo", dev_files);
+            let dev_dyn: Arc<dyn ProcFs> = dev_info;
+            ns.mount(Source::attach(&dev_dyn, "bootes", "")?, "/dev", MAFTER)?;
+        }
+        if let Some(stack) = &ip {
+            let arp_stack = Arc::clone(stack);
+            let net_info = crate::dev::InfoFs::new(
+                "netinfo",
+                vec![(
+                    "arp".to_string(),
+                    Box::new(move || {
+                        let mut out = String::new();
+                        for (ip, mac) in arp_stack.arp.entries() {
+                            out.push_str(&format!(
+                                "{} {}\n",
+                                ip,
+                                plan9_netsim::ether::mac_to_string(&mac)
+                            ));
+                        }
+                        out
+                    }) as crate::dev::InfoGen,
+                )],
+            );
+            let net_dyn: Arc<dyn ProcFs> = net_info;
+            ns.mount(Source::attach(&net_dyn, "bootes", "")?, "/net", MAFTER)?;
+        }
+        // DNS, then CS over it.
+        let dns = self.internet.as_ref().map(|net| DnsServer::new(Arc::clone(net)));
+        if let Some(dns) = &dns {
+            let fs: Arc<dyn ProcFs> = dns.file_server();
+            ns.mount(Source::attach(&fs, "bootes", "")?, "/net", MAFTER)?;
+        }
+        let cs = CsServer::new(
+            CsConfig {
+                sysname: self.name.clone(),
+                networks,
+                mount_prefix: "/net".to_string(),
+            },
+            Arc::clone(&db),
+            dns.clone(),
+        );
+        {
+            let fs: Arc<dyn ProcFs> = cs.file_server();
+            ns.mount(Source::attach(&fs, "bootes", "")?, "/net", MAFTER)?;
+        }
+        Ok(Arc::new(Machine {
+            name: self.name,
+            rootfs,
+            base_ns: ns,
+            ip,
+            ether_dev,
+            dk,
+            db,
+            dns,
+            cs,
+        }))
+    }
+}
+
+/// A booted machine.
+pub struct Machine {
+    /// The machine's name.
+    pub name: String,
+    /// The root file tree (also home of `/lib/ndb/local`).
+    pub rootfs: Arc<MemFs>,
+    base_ns: Arc<Namespace>,
+    /// The IP interface, if the machine has an Ethernet.
+    pub ip: Option<Arc<IpStack>>,
+    /// The Ethernet device (Figure 1), if present.
+    pub ether_dev: Option<Arc<EtherDev>>,
+    /// The Datakit dispatcher, if the machine has a line.
+    pub dk: Option<Arc<DkDispatcher>>,
+    /// The network database.
+    pub db: Arc<Db>,
+    /// The DNS resolver, if connected to an internet.
+    pub dns: Option<Arc<DnsServer>>,
+    /// The connection server.
+    pub cs: Arc<CsServer>,
+}
+
+impl Machine {
+    /// Starts a process with a copy of the machine's default name space.
+    pub fn proc(&self) -> Proc {
+        Proc::new(self.base_ns.fork(), "glenda")
+    }
+
+    /// Starts a process for a specific user.
+    pub fn proc_as(&self, user: &str) -> Proc {
+        Proc::new(self.base_ns.fork(), user)
+    }
+
+    /// The machine's IP address, if any.
+    pub fn ip_addr(&self) -> Option<IpAddr> {
+        self.ip.as_ref().map(|s| s.addr())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol implementations plugged into the generic device.
+// ---------------------------------------------------------------------------
+
+fn parse_ip_port(db: &Db, proto: &str, addr: &str) -> Result<(IpAddr, u16)> {
+    let (host, port) = addr
+        .split_once('!')
+        .ok_or_else(|| NineError::new(format!("bad address: {addr}")))?;
+    // The host part may be a name when the ctl write bypassed CS (a
+    // gatewayed dial, §6.1); fall back to the machine's own database.
+    let ip = match IpAddr::parse(host) {
+        Ok(ip) => ip,
+        Err(e) => {
+            let entry = db.find_system(host).ok_or(e)?;
+            let ip = entry
+                .get("ip")
+                .ok_or_else(|| NineError::new(format!("no ip for {host}")))?;
+            IpAddr::parse(ip)?
+        }
+    };
+    // Service names resolve through the service map (`tcp=telnet
+    // port=23`); numbers pass through.
+    let port = db
+        .lookup_service(proto, port)
+        .ok_or_else(|| NineError::new(format!("bad port: {port}")))?;
+    Ok((ip, port))
+}
+
+fn parse_announce_port(db: &Db, proto: &str, addr: &str) -> Result<u16> {
+    // `*!564`, `*!echo` or just `564`.
+    let port = addr.rsplit_once('!').map(|(_, p)| p).unwrap_or(addr);
+    db.lookup_service(proto, port)
+        .ok_or_else(|| NineError::new(format!("bad port: {port}")))
+}
+
+struct TcpProto {
+    stack: Arc<IpStack>,
+    db: Arc<Db>,
+}
+
+struct TcpConnOps {
+    conn: Arc<plan9_inet::tcp::TcpConn>,
+}
+
+impl ConnOps for TcpConnOps {
+    fn send(&self, msg: &[u8]) -> Result<()> {
+        self.conn.write(msg).map(|_| ())
+    }
+    fn recv(&self) -> Result<Option<Vec<u8>>> {
+        match self.conn.read(65536) {
+            Ok(data) if data.is_empty() => Ok(None),
+            Ok(data) => Ok(Some(data)),
+            Err(e) => Err(e),
+        }
+    }
+    fn local(&self) -> String {
+        self.conn.local_string()
+    }
+    fn remote(&self) -> String {
+        self.conn.remote_string()
+    }
+    fn status(&self) -> String {
+        self.conn.status_string()
+    }
+    fn close(&self) {
+        self.conn.close();
+    }
+}
+
+struct TcpAnnounceOps {
+    listener: plan9_inet::tcp::TcpListener,
+    stack: Arc<IpStack>,
+}
+
+impl AnnounceOps for TcpAnnounceOps {
+    fn listen(&self) -> Result<Arc<dyn ConnOps>> {
+        let conn = self.listener.accept()?;
+        Ok(Arc::new(TcpConnOps { conn }))
+    }
+    fn local(&self) -> String {
+        format!("{} {}", self.stack.addr(), self.listener.port())
+    }
+}
+
+impl ProtoOps for TcpProto {
+    fn proto(&self) -> String {
+        "tcp".to_string()
+    }
+    fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>> {
+        let (ip, port) = parse_ip_port(&self.db, "tcp", addr)?;
+        let conn = self.stack.tcp_module().connect(&self.stack, ip, port)?;
+        Ok(Arc::new(TcpConnOps { conn }))
+    }
+    fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>> {
+        let port = parse_announce_port(&self.db, "tcp", addr)?;
+        let listener = self.stack.tcp_module().listen(&self.stack, port)?;
+        Ok(Box::new(TcpAnnounceOps {
+            listener,
+            stack: Arc::clone(&self.stack),
+        }))
+    }
+}
+
+struct IlProto {
+    stack: Arc<IpStack>,
+    db: Arc<Db>,
+}
+
+struct IlConnOps {
+    conn: Arc<plan9_inet::il::IlConn>,
+}
+
+impl ConnOps for IlConnOps {
+    fn send(&self, msg: &[u8]) -> Result<()> {
+        self.conn.send(msg)
+    }
+    fn recv(&self) -> Result<Option<Vec<u8>>> {
+        self.conn.recv()
+    }
+    fn local(&self) -> String {
+        self.conn.local_string()
+    }
+    fn remote(&self) -> String {
+        self.conn.remote_string()
+    }
+    fn status(&self) -> String {
+        self.conn.status_string()
+    }
+    fn close(&self) {
+        self.conn.close();
+    }
+}
+
+struct IlAnnounceOps {
+    listener: plan9_inet::il::IlListener,
+    stack: Arc<IpStack>,
+}
+
+impl AnnounceOps for IlAnnounceOps {
+    fn listen(&self) -> Result<Arc<dyn ConnOps>> {
+        let conn = self.listener.accept()?;
+        Ok(Arc::new(IlConnOps { conn }))
+    }
+    fn local(&self) -> String {
+        format!("{} {}", self.stack.addr(), self.listener.port())
+    }
+}
+
+impl ProtoOps for IlProto {
+    fn proto(&self) -> String {
+        "il".to_string()
+    }
+    fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>> {
+        let (ip, port) = parse_ip_port(&self.db, "il", addr)?;
+        let conn = self.stack.il_module().connect(&self.stack, ip, port)?;
+        Ok(Arc::new(IlConnOps { conn }))
+    }
+    fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>> {
+        let port = parse_announce_port(&self.db, "il", addr)?;
+        let listener = self.stack.il_module().listen(&self.stack, port)?;
+        Ok(Box::new(IlAnnounceOps {
+            listener,
+            stack: Arc::clone(&self.stack),
+        }))
+    }
+}
+
+struct UdpProto {
+    stack: Arc<IpStack>,
+    db: Arc<Db>,
+}
+
+struct UdpConnOps {
+    sock: plan9_inet::udp::UdpSocket,
+    stack: Arc<IpStack>,
+    remote: (IpAddr, u16),
+}
+
+impl ConnOps for UdpConnOps {
+    fn send(&self, msg: &[u8]) -> Result<()> {
+        self.sock.send_to(self.remote.0, self.remote.1, msg)
+    }
+    fn recv(&self) -> Result<Option<Vec<u8>>> {
+        let (_src, _sport, data) = self.sock.recv()?;
+        Ok(Some(data))
+    }
+    fn local(&self) -> String {
+        format!("{} {}", self.stack.addr(), self.sock.port())
+    }
+    fn remote(&self) -> String {
+        format!("{} {}", self.remote.0, self.remote.1)
+    }
+    fn status(&self) -> String {
+        "Datagram".to_string()
+    }
+    fn close(&self) {}
+}
+
+impl ProtoOps for UdpProto {
+    fn proto(&self) -> String {
+        "udp".to_string()
+    }
+    fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>> {
+        let (ip, port) = parse_ip_port(&self.db, "udp", addr)?;
+        let sock = self.stack.udp_module().bind(&self.stack, 0)?;
+        Ok(Arc::new(UdpConnOps {
+            sock,
+            stack: Arc::clone(&self.stack),
+            remote: (ip, port),
+        }))
+    }
+    fn announce(&self, _addr: &str) -> Result<Box<dyn AnnounceOps>> {
+        // UDP is connectionless; the paper's protocol devices announce
+        // only stream-like protocols.
+        Err(NineError::new("udp: announce not supported"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Datakit: one line, many services — a dispatcher routes incoming calls
+// by the service named in the dial string.
+// ---------------------------------------------------------------------------
+
+/// Routes incoming Datakit calls to per-service announcements.
+pub struct DkDispatcher {
+    addr: String,
+    line: Arc<DatakitLine>,
+    services: Mutex<HashMap<String, crossbeam::channel::Sender<(Arc<UrpConn>, String)>>>,
+}
+
+impl DkDispatcher {
+    fn start(line: DatakitLine) -> Arc<DkDispatcher> {
+        let d = Arc::new(DkDispatcher {
+            addr: line.addr().to_string(),
+            line: Arc::new(line),
+            services: Mutex::new(HashMap::new()),
+        });
+        let disp = Arc::clone(&d);
+        std::thread::Builder::new()
+            .name("dk-listener".to_string())
+            .spawn(move || disp.accept_loop())
+            .expect("spawn dk listener");
+        d
+    }
+
+    /// This line's Datakit address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn accept_loop(self: Arc<Self>) {
+        loop {
+            let Some(call) = self.line.listen_timeout(Duration::from_millis(100)) else {
+                continue;
+            };
+            let service = call.service.clone();
+            let tx = self.services.lock().get(&service).cloned();
+            match tx {
+                Some(tx) => {
+                    let conn = UrpConn::new(call.circuit);
+                    let _ = tx.send((conn, call.from));
+                }
+                None => {
+                    // "Some networks such as Datakit accept a reason for
+                    // a rejection."
+                    call.circuit.reject(&format!("unknown service: {service}"));
+                }
+            }
+        }
+    }
+}
+
+struct DkProto {
+    dispatcher: Arc<DkDispatcher>,
+}
+
+struct DkConnOps {
+    conn: Arc<UrpConn>,
+}
+
+impl ConnOps for DkConnOps {
+    fn send(&self, msg: &[u8]) -> Result<()> {
+        self.conn.send(msg)
+    }
+    fn recv(&self) -> Result<Option<Vec<u8>>> {
+        Ok(self.conn.recv())
+    }
+    fn local(&self) -> String {
+        self.conn.local_addr()
+    }
+    fn remote(&self) -> String {
+        self.conn.remote_addr()
+    }
+    fn status(&self) -> String {
+        self.conn.status_string()
+    }
+    fn close(&self) {
+        self.conn.close();
+    }
+}
+
+struct DkAnnounceOps {
+    service: String,
+    local: String,
+    rx: crossbeam::channel::Receiver<(Arc<UrpConn>, String)>,
+}
+
+impl AnnounceOps for DkAnnounceOps {
+    fn listen(&self) -> Result<Arc<dyn ConnOps>> {
+        let (conn, _from) = self
+            .rx
+            .recv()
+            .map_err(|_| NineError::new("announce closed"))?;
+        Ok(Arc::new(DkConnOps { conn }))
+    }
+    fn local(&self) -> String {
+        format!("{}!{}", self.local, self.service)
+    }
+}
+
+impl ProtoOps for DkProto {
+    fn proto(&self) -> String {
+        "dk".to_string()
+    }
+    fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>> {
+        let conn = urp_dial(&self.dispatcher.line, addr)?;
+        // Datakit rejections surface on the first receive; probe early
+        // failures are left to the caller, as on real hardware.
+        Ok(Arc::new(DkConnOps { conn }))
+    }
+    fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>> {
+        // `*!9fs` or `9fs`.
+        let service = addr.rsplit_once('!').map(|(_, s)| s).unwrap_or(addr);
+        let (tx, rx) = crossbeam::channel::bounded(32);
+        let mut services = self.dispatcher.services.lock();
+        if services.contains_key(service) {
+            return Err(NineError::new(format!("service in use: {service}")));
+        }
+        services.insert(service.to_string(), tx);
+        Ok(Box::new(DkAnnounceOps {
+            service: service.to_string(),
+            local: self.dispatcher.addr.clone(),
+            rx,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dial::{accept, announce, dial, listen};
+    use plan9_netsim::profile::Profiles;
+
+    fn mac(n: u8) -> MacAddr {
+        [0x08, 0x00, 0x69, 0x02, 0x22, n]
+    }
+
+    /// Two machines on one Ethernet and one Datakit switch, with the
+    /// paper's database entries.
+    pub(crate) fn helix_and_gnot() -> (Arc<Machine>, Arc<Machine>) {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let switch = DatakitSwitch::new(Profiles::datakit_fast());
+        let ndb = "\
+sys=helix dom=helix.research.bell-labs.com ip=135.104.9.31 ether=0800690222f0 dk=nj/astro/helix proto=il proto=tcp
+sys=gnot ip=135.104.9.40 dk=nj/astro/philw-gnot proto=il proto=tcp
+";
+        let helix = MachineBuilder::new("helix")
+            .ether(&seg, mac(0xf0), IpConfig::local("135.104.9.31"))
+            .datakit(&switch, "nj/astro/helix")
+            .ndb(ndb)
+            .build()
+            .unwrap();
+        let gnot = MachineBuilder::new("gnot")
+            .ether(&seg, mac(0x40), IpConfig::local("135.104.9.40"))
+            .datakit(&switch, "nj/astro/philw-gnot")
+            .ndb(ndb)
+            .build()
+            .unwrap();
+        (helix, gnot)
+    }
+
+    #[test]
+    fn net_directory_matches_convention() {
+        let (helix, _) = helix_and_gnot();
+        let p = helix.proc();
+        let mut names: Vec<String> = p.ls("/net").unwrap().iter().map(|d| d.name.clone()).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["arp", "cs", "dk", "ether0", "il", "tcp", "udp"]
+        );
+    }
+
+    #[test]
+    fn dial_il_by_symbolic_name() {
+        let (helix, gnot) = helix_and_gnot();
+        let hp = helix.proc();
+        let echo = std::thread::spawn(move || {
+            let (_afd, adir) = announce(&hp, "il!*!9fs").unwrap();
+            let (lcfd, ldir) = listen(&hp, &adir).unwrap();
+            let dfd = accept(&hp, lcfd, &ldir).unwrap();
+            let msg = hp.read(dfd, 8192).unwrap();
+            hp.write(dfd, &msg).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let gp = gnot.proc();
+        let conn = dial(&gp, "net!helix!9fs").unwrap();
+        assert!(conn.dir.starts_with("/net/il/"), "{}", conn.dir);
+        gp.write(conn.data_fd, b"Tattach please").unwrap();
+        assert_eq!(gp.read(conn.data_fd, 8192).unwrap(), b"Tattach please");
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn dial_falls_back_to_datakit() {
+        let (helix, gnot) = helix_and_gnot();
+        let hp = helix.proc();
+        let srv = std::thread::spawn(move || {
+            let (_afd, adir) = announce(&hp, "dk!*!rx").unwrap();
+            let (lcfd, ldir) = listen(&hp, &adir).unwrap();
+            let dfd = accept(&hp, lcfd, &ldir).unwrap();
+            let msg = hp.read(dfd, 8192).unwrap();
+            hp.write(dfd, &msg).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let gp = gnot.proc();
+        // rx is not an il/tcp service name, so only dk resolves it.
+        let conn = dial(&gp, "dk!nj/astro/helix!rx").unwrap();
+        assert!(conn.dir.starts_with("/net/dk/"), "{}", conn.dir);
+        gp.write(conn.data_fd, b"over datakit").unwrap();
+        assert_eq!(gp.read(conn.data_fd, 8192).unwrap(), b"over datakit");
+        srv.join().unwrap();
+    }
+
+    #[test]
+    fn status_files_through_namespace() {
+        let (helix, gnot) = helix_and_gnot();
+        let hp = helix.proc();
+        let _echo = std::thread::spawn(move || {
+            let (_afd, adir) = announce(&hp, "tcp!*!echo").unwrap();
+            loop {
+                let Ok((lcfd, ldir)) = listen(&hp, &adir) else { return };
+                let Ok(dfd) = accept(&hp, lcfd, &ldir) else { return };
+                let _ = hp.read(dfd, 10);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let gp = gnot.proc();
+        let conn = dial(&gp, "tcp!135.104.9.31!echo").unwrap();
+        // cat local remote status, like the paper's §2.3 listing.
+        let st = gp
+            .open(&format!("{}/status", conn.dir), plan9_ninep::procfs::OpenMode::READ)
+            .unwrap();
+        let text = gp.read_string(st).unwrap();
+        assert!(text.contains("Established"), "{text}");
+        let rf = gp
+            .open(&format!("{}/remote", conn.dir), plan9_ninep::procfs::OpenMode::READ)
+            .unwrap();
+        let text = gp.read_string(rf).unwrap();
+        assert_eq!(text, "135.104.9.31 7\n");
+    }
+
+    #[test]
+    fn csquery_via_net_cs_file() {
+        let (_, gnot) = helix_and_gnot();
+        let p = gnot.proc();
+        let fd = p
+            .open("/net/cs", plan9_ninep::procfs::OpenMode::RDWR)
+            .unwrap();
+        p.write_str(fd, "net!helix!9fs").unwrap();
+        let first = String::from_utf8(p.read(fd, 256).unwrap()).unwrap();
+        assert_eq!(first, "/net/il/clone 135.104.9.31!17008");
+        let second = String::from_utf8(p.read(fd, 256).unwrap()).unwrap();
+        assert_eq!(second, "/net/tcp/clone 135.104.9.31!564");
+        let third = String::from_utf8(p.read(fd, 256).unwrap()).unwrap();
+        assert_eq!(third, "/net/dk/clone nj/astro/helix!9fs");
+    }
+
+    #[test]
+    fn unknown_service_rejected_with_reason_on_datakit() {
+        let (helix, gnot) = helix_and_gnot();
+        let _keep = helix; // dispatcher must be alive to reject
+        let gp = gnot.proc();
+        let conn = dial(&gp, "dk!nj/astro/helix!nonesuch").unwrap();
+        // The rejection surfaces as EOF on the data file.
+        let data = gp.read(conn.data_fd, 100).unwrap();
+        assert!(data.is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! The connection server: translating symbolic names to dialable
+//! addresses.
+//!
+//! "A symbolic name must be translated to the path of the clone file of
+//! a protocol device and an ASCII address string to write to the ctl
+//! file. ... A client writes a symbolic name to /net/cs then reads one
+//! line for each matching destination reachable from this system. The
+//! lines are of the form `filename message`."
+//!
+//! Meta-names (§4.2): the network `net` selects any network in common
+//! between source and destination supporting the service; a host of the
+//! form `$attr` searches the database for the attribute most closely
+//! associated with the source host.
+
+use crate::dns::DnsServer;
+use crate::qfile::QueryFs;
+use plan9_ndb::{ipattr_search, Db};
+use plan9_ninep::{NineError, Result};
+use std::sync::Arc;
+
+/// What kind of addressing a network uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// IP protocols: addresses are dotted-decimal, services are ports.
+    Ip,
+    /// Datakit: addresses are path strings, services ride in the dial
+    /// string.
+    Datakit,
+}
+
+/// One network available on this machine, in preference order.
+#[derive(Debug, Clone)]
+pub struct NetworkDecl {
+    /// The protocol directory name under `/net` (`il`, `tcp`, `udp`,
+    /// `dk`).
+    pub proto: String,
+    /// Addressing family.
+    pub kind: NetworkKind,
+}
+
+impl NetworkDecl {
+    /// Declares an IP-family network.
+    pub fn ip(proto: &str) -> NetworkDecl {
+        NetworkDecl {
+            proto: proto.to_string(),
+            kind: NetworkKind::Ip,
+        }
+    }
+
+    /// Declares a Datakit network.
+    pub fn datakit(proto: &str) -> NetworkDecl {
+        NetworkDecl {
+            proto: proto.to_string(),
+            kind: NetworkKind::Datakit,
+        }
+    }
+}
+
+/// Connection-server configuration: the machine's own identity and its
+/// networks.
+#[derive(Debug, Clone)]
+pub struct CsConfig {
+    /// The source system's name, anchoring `$attr` searches.
+    pub sysname: String,
+    /// Available networks in preference order ("local knowledge").
+    pub networks: Vec<NetworkDecl>,
+    /// Where protocol devices are mounted, conventionally `/net`.
+    pub mount_prefix: String,
+}
+
+impl CsConfig {
+    /// The conventional configuration: il, tcp, udp and dk under `/net`.
+    pub fn standard(sysname: &str) -> CsConfig {
+        CsConfig {
+            sysname: sysname.to_string(),
+            networks: vec![
+                NetworkDecl::ip("il"),
+                NetworkDecl::ip("tcp"),
+                NetworkDecl::ip("udp"),
+                NetworkDecl::datakit("dk"),
+            ],
+            mount_prefix: "/net".to_string(),
+        }
+    }
+}
+
+/// The connection server.
+pub struct CsServer {
+    cfg: CsConfig,
+    db: Arc<Db>,
+    dns: Option<Arc<DnsServer>>,
+}
+
+fn is_ip_literal(s: &str) -> bool {
+    s.split('.').count() == 4 && s.split('.').all(|p| p.parse::<u8>().is_ok())
+}
+
+fn looks_like_domain(s: &str) -> bool {
+    s.contains('.') && !is_ip_literal(s)
+}
+
+impl CsServer {
+    /// Creates a connection server over the database, optionally backed
+    /// by a DNS resolver for domain names.
+    pub fn new(cfg: CsConfig, db: Arc<Db>, dns: Option<Arc<DnsServer>>) -> Arc<CsServer> {
+        Arc::new(CsServer { cfg, db, dns })
+    }
+
+    /// Translates one symbolic name into `filename message` lines.
+    pub fn translate(&self, query: &str) -> Result<Vec<String>> {
+        let parts: Vec<&str> = query.split('!').collect();
+        let (netname, host, svc) = match parts.as_slice() {
+            [n, h] => (*n, *h, ""),
+            [n, h, s] => (*n, *h, *s),
+            _ => {
+                return Err(NineError::new(format!(
+                    "cannot translate address: {query}"
+                )))
+            }
+        };
+        // Expand $attr hosts via the closest-association search.
+        let hosts: Vec<String> = if let Some(attr) = host.strip_prefix('$') {
+            let found = ipattr_search(&self.db, &self.cfg.sysname, attr);
+            if found.is_empty() {
+                return Err(NineError::new(format!("no attribute match for ${attr}")));
+            }
+            found
+        } else {
+            vec![host.to_string()]
+        };
+        // Which networks to try.
+        let nets: Vec<&NetworkDecl> = if netname == "net" {
+            self.cfg.networks.iter().collect()
+        } else {
+            let found: Vec<&NetworkDecl> = self
+                .cfg
+                .networks
+                .iter()
+                .filter(|n| n.proto == netname)
+                .collect();
+            if found.is_empty() {
+                return Err(NineError::new(format!("unknown network: {netname}")));
+            }
+            found
+        };
+        let mut lines = Vec::new();
+        for h in &hosts {
+            // "*" announces on every local address (§5.2's tcp!*!echo).
+            if h == "*" {
+                for net in &nets {
+                    let line = match net.kind {
+                        NetworkKind::Ip => match self.service_port(&net.proto, svc) {
+                            Some(port) => {
+                                format!("{}/{}/clone *!{}", self.cfg.mount_prefix, net.proto, port)
+                            }
+                            None if svc.is_empty() => {
+                                format!("{}/{}/clone *", self.cfg.mount_prefix, net.proto)
+                            }
+                            None => continue,
+                        },
+                        NetworkKind::Datakit => {
+                            format!("{}/{}/clone *!{}", self.cfg.mount_prefix, net.proto, svc)
+                        }
+                    };
+                    lines.push(line);
+                }
+                continue;
+            }
+            let entry = self.db.find_system(h);
+            // Destination's supported protocols, if the database knows.
+            let dest_protos: Vec<String> = entry
+                .as_ref()
+                .map(|e| e.all("proto").iter().map(|s| s.to_string()).collect())
+                .unwrap_or_default();
+            for net in &nets {
+                // The `net` meta-name respects the destination's protos.
+                if netname == "net"
+                    && net.kind == NetworkKind::Ip
+                    && !dest_protos.is_empty()
+                    && !dest_protos.iter().any(|p| p == &net.proto)
+                    && !is_ip_literal(h)
+                {
+                    continue;
+                }
+                match net.kind {
+                    NetworkKind::Ip => {
+                        let addrs = self.ip_addresses(h, entry.as_ref());
+                        for addr in addrs {
+                            let line = match self.service_port(&net.proto, svc) {
+                                Some(port) => format!(
+                                    "{}/{}/clone {}!{}",
+                                    self.cfg.mount_prefix, net.proto, addr, port
+                                ),
+                                None if svc.is_empty() => format!(
+                                    "{}/{}/clone {}",
+                                    self.cfg.mount_prefix, net.proto, addr
+                                ),
+                                None => continue, // service unknown on this proto
+                            };
+                            lines.push(line);
+                        }
+                    }
+                    NetworkKind::Datakit => {
+                        let dk_addr = if h.contains('/') {
+                            Some(h.clone())
+                        } else {
+                            entry.as_ref().and_then(|e| e.get("dk").map(String::from))
+                        };
+                        if let Some(addr) = dk_addr {
+                            let line = if svc.is_empty() {
+                                format!("{}/{}/clone {}", self.cfg.mount_prefix, net.proto, addr)
+                            } else {
+                                format!(
+                                    "{}/{}/clone {}!{}",
+                                    self.cfg.mount_prefix, net.proto, addr, svc
+                                )
+                            };
+                            lines.push(line);
+                        }
+                    }
+                }
+            }
+        }
+        if lines.is_empty() {
+            return Err(NineError::new(format!(
+                "cannot translate address: {query}"
+            )));
+        }
+        Ok(lines)
+    }
+
+    /// All IP addresses for a host name: literals pass through, domain
+    /// names consult DNS first and fall back to the database ("If no DNS
+    /// is reachable, CS relies on its own tables").
+    fn ip_addresses(&self, host: &str, entry: Option<&plan9_ndb::Entry>) -> Vec<String> {
+        if is_ip_literal(host) {
+            return vec![host.to_string()];
+        }
+        if looks_like_domain(host) {
+            if let Some(dns) = &self.dns {
+                if let Ok(recs) = dns.resolve(host, "ip") {
+                    let addrs: Vec<String> =
+                        recs.into_iter().filter(|(t, _)| t == "ip").map(|(_, v)| v).collect();
+                    if !addrs.is_empty() {
+                        return addrs;
+                    }
+                }
+            }
+        }
+        entry
+            .map(|e| e.all("ip").iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    fn service_port(&self, proto: &str, svc: &str) -> Option<u16> {
+        if svc.is_empty() {
+            return None;
+        }
+        self.db.lookup_service(proto, svc)
+    }
+
+    /// Builds the `/net/cs` file server around this translator.
+    pub fn file_server(self: &Arc<Self>) -> Arc<QueryFs> {
+        let cs = Arc::clone(self);
+        QueryFs::new("cs", "cs", Box::new(move |query| cs.translate(query)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A database shaped like the paper's examples.
+    const NDB: &str = "\
+ipnet=mh-astro-net ip=135.104.0.0
+\tauth=p9auth auth=musca
+sys=helix dom=helix.research.bell-labs.com ip=135.104.9.31 dk=nj/astro/helix proto=il
+sys=p9auth ip=135.104.9.34 dk=nj/astro/p9auth proto=il
+sys=musca ip=135.104.9.6 dk=nj/astro/musca proto=il
+sys=spindle dom=research.bell-labs.com ip=135.104.117.5 ip=129.11.4.1 dk=nj/astro/research proto=il proto=tcp
+sys=gnot ip=135.104.9.40
+il=9fs port=17008
+il=rexauth port=17021
+tcp=login port=513
+tcp=echo port=7
+tcp=9fs port=564
+";
+
+    fn cs() -> Arc<CsServer> {
+        let db = Arc::new(Db::from_texts(&[NDB]));
+        CsServer::new(CsConfig::standard("gnot"), db, None)
+    }
+
+    #[test]
+    fn paper_query_net_helix_9fs() {
+        // % ndb/csquery
+        // > net!helix!9fs
+        // /net/il/clone 135.104.9.31!17008
+        // /net/dk/clone nj/astro/helix!9fs
+        let lines = cs().translate("net!helix!9fs").unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                "/net/il/clone 135.104.9.31!17008",
+                "/net/dk/clone nj/astro/helix!9fs",
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_query_auth_metaname() {
+        // > net!$auth!rexauth — two auth servers, il and dk each.
+        let lines = cs().translate("net!$auth!rexauth").unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                "/net/il/clone 135.104.9.34!17021",
+                "/net/dk/clone nj/astro/p9auth!rexauth",
+                "/net/il/clone 135.104.9.6!17021",
+                "/net/dk/clone nj/astro/musca!rexauth",
+            ]
+        );
+    }
+
+    #[test]
+    fn explicit_network_with_address_literal() {
+        // tcp!135.104.117.5!513 — no database needed.
+        let lines = cs().translate("tcp!135.104.117.5!513").unwrap();
+        assert_eq!(lines, vec!["/net/tcp/clone 135.104.117.5!513"]);
+    }
+
+    #[test]
+    fn dial_string_equivalence_like_section_5() {
+        // tcp!research.bell-labs.com!login resolves the same machine.
+        let by_name = cs().translate("tcp!research.bell-labs.com!login").unwrap();
+        assert_eq!(
+            by_name,
+            vec![
+                "/net/tcp/clone 135.104.117.5!513",
+                "/net/tcp/clone 129.11.4.1!513",
+            ]
+        );
+    }
+
+    #[test]
+    fn net_tries_all_addresses_and_networks() {
+        // net!research.bell-labs.com!login (§5.1): datakit and both IPs.
+        let lines = cs().translate("net!research.bell-labs.com!login").unwrap();
+        // Our preference order puts il first; spindle supports il and
+        // tcp. No il service "login" exists, so il yields nothing.
+        assert_eq!(
+            lines,
+            vec![
+                "/net/tcp/clone 135.104.117.5!513",
+                "/net/tcp/clone 129.11.4.1!513",
+                "/net/dk/clone nj/astro/research!login",
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_network_rejected() {
+        let err = cs().translate("xns!helix!9fs").unwrap_err();
+        assert!(err.0.contains("unknown network"), "{err}");
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let err = cs().translate("net!plutonium!9fs").unwrap_err();
+        assert!(err.0.contains("cannot translate"), "{err}");
+    }
+
+    #[test]
+    fn missing_attr_rejected() {
+        let err = cs().translate("net!$bogus!9fs").unwrap_err();
+        assert!(err.0.contains("no attribute"), "{err}");
+    }
+
+    #[test]
+    fn numeric_service_passes_through() {
+        let lines = cs().translate("il!helix!17010").unwrap();
+        assert_eq!(lines, vec!["/net/il/clone 135.104.9.31!17010"]);
+    }
+
+    #[test]
+    fn dns_consulted_before_database() {
+        let db = Arc::new(Db::from_texts(&[NDB]));
+        let internet = crate::dns::paper_internet();
+        // DNS disagrees with ndb on purpose.
+        internet.register("weird.research.bell-labs.com", "ip", "10.9.9.9");
+        let dns = DnsServer::new(internet);
+        let cs = CsServer::new(CsConfig::standard("gnot"), db, Some(dns));
+        let lines = cs.translate("tcp!weird.research.bell-labs.com!echo").unwrap();
+        assert_eq!(lines, vec!["/net/tcp/clone 10.9.9.9!7"]);
+    }
+
+    #[test]
+    fn star_host_for_announcements() {
+        let lines = cs().translate("tcp!*!echo").unwrap();
+        assert_eq!(lines, vec!["/net/tcp/clone *!7"]);
+        let lines = cs().translate("net!*!9fs").unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                "/net/il/clone *!17008",
+                "/net/tcp/clone *!564",
+                "/net/dk/clone *!9fs",
+            ]
+        );
+    }
+
+    #[test]
+    fn file_interface_round_trip() {
+        use plan9_ninep::procfs::{OpenMode, ProcFs};
+        let fs = cs().file_server();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "cs").unwrap();
+        let f = fs.open(&f, OpenMode::RDWR).unwrap();
+        fs.write(&f, 0, b"net!helix!9fs").unwrap();
+        assert_eq!(
+            fs.read(&f, 0, 256).unwrap(),
+            b"/net/il/clone 135.104.9.31!17008"
+        );
+        assert_eq!(
+            fs.read(&f, 0, 256).unwrap(),
+            b"/net/dk/clone nj/astro/helix!9fs"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The domain name server: a user-level process serving `/net/dns`.
+//!
+//! "A client writes a request of the form `domain-name type` ... DNS
+//! performs a recursive query through the Internet domain name system
+//! producing one line per resource record found. The client reads
+//! /net/dns to retrieve the records. Like other domain name servers, DNS
+//! caches information learned from the network."
+
+use crate::qfile::QueryFs;
+use crate::zones::{Record, SimInternet};
+use parking_lot::Mutex;
+use plan9_ninep::{NineError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long cached answers live.
+const CACHE_TTL: Duration = Duration::from_secs(300);
+
+/// Bound on delegation depth (malformed hierarchies).
+const MAX_DEPTH: usize = 16;
+
+struct CacheEntry {
+    records: Vec<Record>,
+    at: Instant,
+}
+
+/// The resolver with its cache; shared by every listener process.
+pub struct DnsServer {
+    internet: Arc<SimInternet>,
+    cache: Mutex<HashMap<String, CacheEntry>>,
+    /// Queries answered from cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that walked the hierarchy.
+    pub recursions: AtomicU64,
+}
+
+impl DnsServer {
+    /// Creates a resolver over the simulated Internet.
+    pub fn new(internet: Arc<SimInternet>) -> Arc<DnsServer> {
+        Arc::new(DnsServer {
+            internet,
+            cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            recursions: AtomicU64::new(0),
+        })
+    }
+
+    /// Resolves `name`, returning every record (filtered by `rtype`
+    /// unless it is `any`).
+    pub fn resolve(&self, name: &str, rtype: &str) -> Result<Vec<Record>> {
+        let records = self.resolve_all(name, 0)?;
+        Ok(records
+            .into_iter()
+            .filter(|(t, _)| rtype == "any" || t == rtype)
+            .collect())
+    }
+
+    fn resolve_all(&self, name: &str, depth: usize) -> Result<Vec<Record>> {
+        if depth > 4 {
+            return Err(NineError::new("cname loop"));
+        }
+        {
+            let cache = self.cache.lock();
+            if let Some(e) = cache.get(name) {
+                if e.at.elapsed() < CACHE_TTL {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(e.records.clone());
+                }
+            }
+        }
+        self.recursions.fetch_add(1, Ordering::Relaxed);
+        // Recursive walk from the root, following delegations.
+        let mut zone = String::new();
+        let mut records = Vec::new();
+        for _ in 0..MAX_DEPTH {
+            match self.internet.query_zone(&zone, name) {
+                Ok(recs) => {
+                    records = recs;
+                    break;
+                }
+                Err(delegation) => zone = delegation,
+            }
+        }
+        // Chase CNAMEs.
+        let mut out = Vec::new();
+        for (t, v) in &records {
+            if t == "cname" {
+                out.push((t.clone(), v.clone()));
+                out.extend(self.resolve_all(v, depth + 1)?);
+            } else {
+                out.push((t.clone(), v.clone()));
+            }
+        }
+        self.cache.lock().insert(
+            name.to_string(),
+            CacheEntry {
+                records: out.clone(),
+                at: Instant::now(),
+            },
+        );
+        Ok(out)
+    }
+
+    /// Builds the `/net/dns` file server around this resolver.
+    pub fn file_server(self: &Arc<Self>) -> Arc<QueryFs> {
+        let dns = Arc::clone(self);
+        QueryFs::new(
+            "dns",
+            "dns",
+            Box::new(move |query| {
+                let mut parts = query.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| NineError::new("empty dns request"))?;
+                let rtype = parts.next().unwrap_or("ip");
+                let records = dns.resolve(name, rtype)?;
+                if records.is_empty() {
+                    return Err(NineError::new(format!("dns: no answer for {name}")));
+                }
+                Ok(records
+                    .into_iter()
+                    .map(|(t, v)| format!("{name} {t} {v}"))
+                    .collect())
+            }),
+        )
+    }
+}
+
+/// Populates a [`SimInternet`] with the zones and hosts of the paper's
+/// world, for examples and tests.
+pub fn paper_internet() -> Arc<SimInternet> {
+    let net = SimInternet::new();
+    for zone in ["com", "edu", "bell-labs.com", "research.bell-labs.com", "mit.edu"] {
+        net.add_zone(zone);
+    }
+    net.register("helix.research.bell-labs.com", "ip", "135.104.9.31");
+    net.register("bootes.research.bell-labs.com", "ip", "135.104.9.2");
+    net.register("research.bell-labs.com", "ip", "135.104.117.5");
+    net.register("ai.mit.edu", "ip", "128.52.32.80");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plan9_ninep::procfs::{OpenMode, ProcFs};
+
+    #[test]
+    fn recursive_resolution_walks_zones() {
+        let net = paper_internet();
+        let dns = DnsServer::new(Arc::clone(&net));
+        let recs = dns.resolve("helix.research.bell-labs.com", "ip").unwrap();
+        assert_eq!(recs[0].1, "135.104.9.31");
+        // Root → com → bell-labs.com → research.bell-labs.com: several
+        // zone queries.
+        assert!(net.zone_queries.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn cache_prevents_repeat_walks() {
+        let net = paper_internet();
+        let dns = DnsServer::new(Arc::clone(&net));
+        dns.resolve("ai.mit.edu", "ip").unwrap();
+        let q1 = net.zone_queries.load(Ordering::Relaxed);
+        dns.resolve("ai.mit.edu", "ip").unwrap();
+        assert_eq!(net.zone_queries.load(Ordering::Relaxed), q1);
+        assert_eq!(dns.cache_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cname_chased() {
+        let net = paper_internet();
+        net.register("www.bell-labs.com", "cname", "research.bell-labs.com");
+        let dns = DnsServer::new(net);
+        let recs = dns.resolve("www.bell-labs.com", "ip").unwrap();
+        assert_eq!(recs, vec![("ip".into(), "135.104.117.5".into())]);
+    }
+
+    #[test]
+    fn file_interface_matches_paper() {
+        let net = paper_internet();
+        let dns = DnsServer::new(net);
+        let fs = dns.file_server();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "dns").unwrap();
+        let f = fs.open(&f, OpenMode::RDWR).unwrap();
+        fs.write(&f, 0, b"ai.mit.edu ip").unwrap();
+        let line = fs.read(&f, 0, 256).unwrap();
+        assert_eq!(line, b"ai.mit.edu ip 128.52.32.80");
+        assert_eq!(fs.read(&f, 0, 256).unwrap(), b"");
+    }
+
+    #[test]
+    fn missing_name_is_an_error() {
+        let net = paper_internet();
+        let dns = DnsServer::new(net);
+        let fs = dns.file_server();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "dns").unwrap();
+        let f = fs.open(&f, OpenMode::RDWR).unwrap();
+        let err = fs.write(&f, 0, b"no.such.host ip").unwrap_err();
+        assert!(err.0.contains("no answer"), "{err}");
+    }
+
+    #[test]
+    fn concurrent_resolvers_share_cache() {
+        let net = paper_internet();
+        let dns = DnsServer::new(Arc::clone(&net));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let dns = Arc::clone(&dns);
+            handles.push(std::thread::spawn(move || {
+                dns.resolve("bootes.research.bell-labs.com", "ip").unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap()[0].1, "135.104.9.2");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The connection server (CS) and domain name server (DNS) of §4.2.
+//!
+//! "If tools are to be network independent, a third-party server must
+//! resolve network names. A server on each machine, with local
+//! knowledge, can select the best network for any particular destination
+//! machine or service. Since the network devices present a common
+//! interface, the only operation which differs between networks is name
+//! resolution."
+//!
+//! Both servers follow the same file-server shape: CS serves the single
+//! file `/net/cs`, DNS serves `/net/dns`. A client writes a query and
+//! reads back one line per result — the [`qfile`] module implements that
+//! conversation pattern once for both.
+
+pub mod cs;
+pub mod dns;
+pub mod qfile;
+pub mod zones;
+
+pub use cs::{CsConfig, CsServer, NetworkDecl, NetworkKind};
+pub use dns::DnsServer;
+pub use qfile::QueryFs;
+pub use zones::SimInternet;
+
+/// Result alias matching the rest of the system.
+pub type Result<T> = plan9_ninep::Result<T>;

@@ -1,0 +1,222 @@
+//! A single-file query server: write a question, read answers line by
+//! line.
+//!
+//! "A client writes a symbolic name to /net/cs then reads one line for
+//! each matching destination reachable from this system." DNS works the
+//! same way on `/net/dns`. [`QueryFs`] captures that conversation once;
+//! CS and DNS plug in their translation functions.
+
+use parking_lot::Mutex;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Translates one written query into reply lines.
+pub type QueryHandler = Box<dyn Fn(&str) -> Result<Vec<String>> + Send + Sync>;
+
+struct Conversation {
+    lines: Vec<String>,
+    next: usize,
+}
+
+/// A file server with one file; each open channel holds an independent
+/// query conversation.
+pub struct QueryFs {
+    name: String,
+    fname: String,
+    handler: QueryHandler,
+    convs: Mutex<HashMap<u64, Conversation>>,
+    handles: AtomicU64,
+}
+
+const QROOT: u32 = 0;
+const QFILE: u32 = 1;
+
+impl QueryFs {
+    /// Creates a query server whose single file is named `fname`.
+    pub fn new(name: &str, fname: &str, handler: QueryHandler) -> std::sync::Arc<QueryFs> {
+        std::sync::Arc::new(QueryFs {
+            name: name.to_string(),
+            fname: fname.to_string(),
+            handler,
+            convs: Mutex::new(HashMap::new()),
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn fresh(&self, qid: Qid) -> ServeNode {
+        ServeNode::new(qid, self.handles.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn file_dir(&self) -> Dir {
+        let mut d = Dir::file(&self.fname, Qid::file(QFILE, 0), 0o666, "network", 0);
+        d.dev_type = b'x' as u16;
+        d
+    }
+}
+
+impl ProcFs for QueryFs {
+    fn fsname(&self) -> String {
+        self.name.clone()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(self.fresh(Qid::dir(QROOT, 0)))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(self.fresh(n.qid))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        if !n.qid.is_dir() {
+            return Err(NineError::new(errstr::ENOTDIR));
+        }
+        match name {
+            ".." => Ok(*n),
+            x if x == self.fname => Ok(ServeNode::new(Qid::file(QFILE, 0), n.handle)),
+            _ => Err(NineError::new(errstr::ENOTEXIST)),
+        }
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        if n.qid.is_dir() {
+            if mode.access() != 0 {
+                return Err(NineError::new(errstr::EISDIR));
+            }
+            return Ok(*n);
+        }
+        self.convs.lock().insert(
+            n.handle,
+            Conversation {
+                lines: Vec::new(),
+                next: 0,
+            },
+        );
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        if n.qid.is_dir() {
+            return read_dir_slice(&[self.file_dir()], offset, count);
+        }
+        let mut convs = self.convs.lock();
+        let conv = convs
+            .get_mut(&n.handle)
+            .ok_or_else(|| NineError::new(errstr::ENOTOPEN))?;
+        // One line per read, newline-free, like ndb/cs.
+        if conv.next >= conv.lines.len() {
+            return Ok(Vec::new());
+        }
+        let line = &conv.lines[conv.next];
+        conv.next += 1;
+        Ok(line.as_bytes().iter().copied().take(count).collect())
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        if n.qid.is_dir() {
+            return Err(NineError::new(errstr::EISDIR));
+        }
+        let query = std::str::from_utf8(data)
+            .map_err(|_| NineError::new("query is not text"))?
+            .trim()
+            .to_string();
+        let lines = (self.handler)(&query)?;
+        let mut convs = self.convs.lock();
+        let conv = convs
+            .get_mut(&n.handle)
+            .ok_or_else(|| NineError::new(errstr::ENOTOPEN))?;
+        conv.lines = lines;
+        conv.next = 0;
+        Ok(data.len())
+    }
+
+    fn clunk(&self, n: &ServeNode) {
+        self.convs.lock().remove(&n.handle);
+    }
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        if n.qid.is_dir() {
+            Ok(Dir::directory("/", Qid::dir(QROOT, 0), 0o555, "network"))
+        } else {
+            Ok(self.file_dir())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_fs() -> std::sync::Arc<QueryFs> {
+        QueryFs::new(
+            "cs",
+            "cs",
+            Box::new(|q| {
+                if q == "boom" {
+                    return Err(NineError::new("translation failed"));
+                }
+                Ok(vec![format!("first {q}"), format!("second {q}")])
+            }),
+        )
+    }
+
+    #[test]
+    fn write_then_read_lines() {
+        let fs = echo_fs();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "cs").unwrap();
+        let f = fs.open(&f, OpenMode::RDWR).unwrap();
+        fs.write(&f, 0, b"net!helix!9fs").unwrap();
+        assert_eq!(fs.read(&f, 0, 256).unwrap(), b"first net!helix!9fs");
+        assert_eq!(fs.read(&f, 0, 256).unwrap(), b"second net!helix!9fs");
+        assert_eq!(fs.read(&f, 0, 256).unwrap(), b"");
+    }
+
+    #[test]
+    fn conversations_are_per_channel() {
+        let fs = echo_fs();
+        let root = fs.attach("u", "").unwrap();
+        let a = fs.clone_node(&root).unwrap();
+        let a = fs.walk(&a, "cs").unwrap();
+        let a = fs.open(&a, OpenMode::RDWR).unwrap();
+        let b = fs.clone_node(&root).unwrap();
+        let b = fs.walk(&b, "cs").unwrap();
+        let b = fs.open(&b, OpenMode::RDWR).unwrap();
+        fs.write(&a, 0, b"one").unwrap();
+        fs.write(&b, 0, b"two").unwrap();
+        assert_eq!(fs.read(&a, 0, 256).unwrap(), b"first one");
+        assert_eq!(fs.read(&b, 0, 256).unwrap(), b"first two");
+    }
+
+    #[test]
+    fn handler_errors_become_nine_errors() {
+        let fs = echo_fs();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "cs").unwrap();
+        let f = fs.open(&f, OpenMode::RDWR).unwrap();
+        let err = fs.write(&f, 0, b"boom").unwrap_err();
+        assert_eq!(err.0, "translation failed");
+    }
+
+    #[test]
+    fn directory_lists_the_single_file() {
+        let fs = echo_fs();
+        let root = fs.attach("u", "").unwrap();
+        let root = fs.open(&root, OpenMode::READ).unwrap();
+        let bytes = fs.read(&root, 0, 4096).unwrap();
+        let d = Dir::decode(&bytes).unwrap();
+        assert_eq!(d.name, "cs");
+    }
+
+    #[test]
+    fn unopened_io_refused() {
+        let fs = echo_fs();
+        let root = fs.attach("u", "").unwrap();
+        let f = fs.walk(&root, "cs").unwrap();
+        assert!(fs.write(&f, 0, b"q").is_err());
+        assert!(fs.read(&f, 0, 10).is_err());
+    }
+}

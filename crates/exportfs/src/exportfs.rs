@@ -1,0 +1,294 @@
+//! The exportfs file server.
+//!
+//! "After an initial protocol establishes the root of the file tree
+//! being exported, the remote process mounts the connection, allowing
+//! exportfs to act as a relay file server. Operations in the imported
+//! file tree are executed on the remote server and the results
+//! returned."
+//!
+//! [`NsFs`] serves a *name space* subtree — crossing mount points as it
+//! walks, so exporting `/net` really exports the union of devices and
+//! servers mounted there. It is multithreaded by construction: the 9P
+//! server layer runs each request in its own worker, because `open`,
+//! `read` and `write` may block (§6.1).
+
+use parking_lot::Mutex;
+use plan9_core::namespace::{clean_path, Namespace, Source};
+use plan9_core::proc::Proc;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, Perm, ProcFs, ServeNode};
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A channel into the exported name space: the path (for mount-point
+/// crossing) and the resolved source.
+struct NsChan {
+    path: String,
+    src: Source,
+    opened: bool,
+}
+
+/// A file server over a name-space subtree.
+pub struct NsFs {
+    ns: Arc<Namespace>,
+    base: String,
+    #[allow(dead_code)]
+    user: String,
+    chans: Mutex<HashMap<u64, NsChan>>,
+    handles: AtomicU64,
+}
+
+impl NsFs {
+    /// Exports the subtree at `base` of `ns`.
+    pub fn new(ns: Arc<Namespace>, base: &str, user: &str) -> Arc<NsFs> {
+        Arc::new(NsFs {
+            ns,
+            base: clean_path(base),
+            user: user.to_string(),
+            chans: Mutex::new(HashMap::new()),
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn install(&self, path: String, src: Source, opened: bool) -> ServeNode {
+        let handle = self.handles.fetch_add(1, Ordering::Relaxed);
+        let qid = src.node.qid;
+        self.chans.lock().insert(
+            handle,
+            NsChan {
+                path,
+                src,
+                opened,
+            },
+        );
+        ServeNode::new(qid, handle)
+    }
+
+    fn with_chan<T>(&self, n: &ServeNode, f: impl FnOnce(&NsChan) -> T) -> Result<T> {
+        let chans = self.chans.lock();
+        chans
+            .get(&n.handle)
+            .map(f)
+            .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))
+    }
+
+    /// Union-aware directory listing at a path.
+    fn union_entries(&self, path: &str) -> Vec<Dir> {
+        let sources = self.ns.resolve_all(path);
+        let mut out: Vec<Dir> = Vec::new();
+        for src in sources {
+            if !src.node.qid.is_dir() {
+                src.clunk();
+                continue;
+            }
+            if let Ok(node) = src.fs.open(&src.node, OpenMode::READ) {
+                let mut offset = 0u64;
+                loop {
+                    let Ok(data) = src.fs.read(&node, offset, 16 * plan9_ninep::dir::DIR_LEN)
+                    else {
+                        break;
+                    };
+                    if data.is_empty() {
+                        break;
+                    }
+                    offset += data.len() as u64;
+                    for chunk in data.chunks(plan9_ninep::dir::DIR_LEN) {
+                        if let Ok(d) = Dir::decode(chunk) {
+                            if !out.iter().any(|e| e.name == d.name) {
+                                out.push(d);
+                            }
+                        }
+                    }
+                }
+                src.fs.clunk(&node);
+            } else {
+                src.clunk();
+            }
+        }
+        out
+    }
+}
+
+impl ProcFs for NsFs {
+    fn fsname(&self) -> String {
+        format!("exportfs:{}", self.base)
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        let src = self.ns.resolve(&self.base)?;
+        Ok(self.install(self.base.clone(), src, false))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        let (path, src) = self.with_chan(n, |c| (c.path.clone(), c.src.clone()))?;
+        let src = Source {
+            fs: src.fs.clone(),
+            node: src.fs.clone_node(&src.node)?,
+        };
+        Ok(self.install(path, src, false))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        let path = self.with_chan(n, |c| c.path.clone())?;
+        let new_path = if name == ".." {
+            let p = clean_path(&format!("{path}/.."));
+            // Do not escape the exported subtree.
+            let inside = p == self.base
+                || self.base == "/"
+                || p.starts_with(&format!("{}/", self.base));
+            if inside {
+                p
+            } else {
+                self.base.clone()
+            }
+        } else {
+            clean_path(&format!("{path}/{name}"))
+        };
+        // Resolve through the name space so mounts below the export
+        // root are crossed.
+        let src = self.ns.resolve(&new_path)?;
+        let qid = src.node.qid;
+        // Replace the channel in place (walk moves the channel).
+        let mut chans = self.chans.lock();
+        let chan = chans
+            .get_mut(&n.handle)
+            .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))?;
+        chan.src.clunk();
+        chan.src = src;
+        chan.path = new_path;
+        Ok(ServeNode::new(qid, n.handle))
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        let (src, _path) = self.with_chan(n, |c| (c.src.clone(), c.path.clone()))?;
+        let node = src.fs.open(&src.node, mode)?;
+        let mut chans = self.chans.lock();
+        let chan = chans
+            .get_mut(&n.handle)
+            .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))?;
+        chan.src.node = node;
+        chan.opened = true;
+        Ok(ServeNode::new(node.qid, n.handle))
+    }
+
+    fn create(&self, n: &ServeNode, name: &str, perm: Perm, mode: OpenMode) -> Result<ServeNode> {
+        let (src, path) = self.with_chan(n, |c| (c.src.clone(), c.path.clone()))?;
+        let node = src.fs.create(&src.node, name, perm, mode)?;
+        let mut chans = self.chans.lock();
+        let chan = chans
+            .get_mut(&n.handle)
+            .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))?;
+        chan.src.node = node;
+        chan.path = clean_path(&format!("{path}/{name}"));
+        chan.opened = true;
+        Ok(ServeNode::new(node.qid, n.handle))
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        let (src, path) = self.with_chan(n, |c| (c.src.clone(), c.path.clone()))?;
+        if src.node.qid.is_dir() {
+            // Union semantics for exported directories.
+            let entries = self.union_entries(&path);
+            return read_dir_slice(&entries, offset, count);
+        }
+        src.fs.read(&src.node, offset, count)
+    }
+
+    fn write(&self, n: &ServeNode, offset: u64, data: &[u8]) -> Result<usize> {
+        let src = self.with_chan(n, |c| c.src.clone())?;
+        src.fs.write(&src.node, offset, data)
+    }
+
+    fn clunk(&self, n: &ServeNode) {
+        if let Some(chan) = self.chans.lock().remove(&n.handle) {
+            chan.src.clunk();
+        }
+    }
+
+    fn remove(&self, n: &ServeNode) -> Result<()> {
+        let src = self.with_chan(n, |c| c.src.clone())?;
+        let r = src.fs.remove(&src.node);
+        self.chans.lock().remove(&n.handle);
+        r
+    }
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        let src = self.with_chan(n, |c| c.src.clone())?;
+        src.fs.stat(&src.node)
+    }
+
+    fn wstat(&self, n: &ServeNode, d: &Dir) -> Result<()> {
+        let src = self.with_chan(n, |c| c.src.clone())?;
+        src.fs.wstat(&src.node, d)
+    }
+}
+
+/// Serves one export conversation on an already-open data descriptor:
+/// reads the initial protocol (the requested root), then relays 9P.
+///
+/// Blocks until the peer hangs up.
+pub fn serve_export(p: &Proc, data_fd: i32, framed: bool) -> Result<()> {
+    // Initial protocol: the peer names the root of the tree it wants.
+    let want = p.read(data_fd, 1024)?;
+    let want = String::from_utf8(want).map_err(|_| NineError::new("bad export request"))?;
+    let base = want.trim();
+    // Check it exists before acknowledging.
+    match p.ns.resolve(base) {
+        Ok(src) => {
+            src.clunk();
+            p.write(data_fd, b"OK")?;
+        }
+        Err(e) => {
+            let _ = p.write(data_fd, format!("NO {e}").as_bytes());
+            return Err(e);
+        }
+    }
+    let fs: Arc<dyn ProcFs> = NsFs::new(p.ns.fork(), base, &p.user);
+    let io = p.io(data_fd)?;
+    if framed {
+        let source = plan9_ninep::marshal::FramedSource::new(io.clone());
+        let sink = plan9_ninep::marshal::FramedSink::new(io);
+        plan9_ninep::server::serve(fs, Box::new(source), Box::new(sink))
+    } else {
+        plan9_ninep::server::serve(fs, Box::new(io.clone()), Box::new(io))
+    }
+}
+
+/// The listener side (the Plan 9 equivalent of `inetd` running
+/// `exportfs` for each incoming call): announces `addr` and serves each
+/// call in its own thread.
+///
+/// Returns after `max_calls` conversations have been *accepted* (so
+/// tests can bound it); pass `usize::MAX` to serve forever.
+pub fn exportfs_listener(p: Proc, addr: &str, max_calls: usize) -> Result<std::thread::JoinHandle<()>> {
+    let (afd, adir) = plan9_core::dial::announce(&p, addr)?;
+    let framed = adir.contains("/tcp/");
+    let handle = std::thread::Builder::new()
+        .name("exportfs-listener".to_string())
+        .spawn(move || {
+            let _keep_announce = afd;
+            for _ in 0..max_calls {
+                let Ok((lcfd, ldir)) = plan9_core::dial::listen(&p, &adir) else {
+                    return;
+                };
+                let Ok(dfd) = plan9_core::dial::accept(&p, lcfd, &ldir) else {
+                    p.close(lcfd);
+                    continue;
+                };
+                // "The listener runs the profile of the user requesting
+                // the service to construct a name space before starting
+                // exportfs": each conversation gets a forked process.
+                let worker = p.fork_with_fd(dfd);
+                std::thread::Builder::new()
+                    .name("exportfs".to_string())
+                    .spawn(move || {
+                        let (wp, wfd) = worker;
+                        let _ = serve_export(&wp, wfd, framed);
+                    })
+                    .expect("spawn exportfs worker");
+            }
+        })
+        .map_err(|e| NineError::new(format!("spawn listener: {e}")))?;
+    Ok(handle)
+}

@@ -1,0 +1,99 @@
+//! IPv4 addresses and the dotted-decimal strings the ASCII interfaces
+//! carry.
+
+use plan9_ninep::NineError;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct IpAddr(pub u32);
+
+impl IpAddr {
+    /// The all-zero address.
+    pub const ANY: IpAddr = IpAddr(0);
+
+    /// The broadcast address 255.255.255.255.
+    pub const BROADCAST: IpAddr = IpAddr(u32::MAX);
+
+    /// Builds an address from four octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+        IpAddr(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Parses dotted-decimal notation (`135.104.9.31`).
+    pub fn parse(s: &str) -> crate::Result<IpAddr> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for o in octets.iter_mut() {
+            let part = parts
+                .next()
+                .ok_or_else(|| NineError::new(format!("bad ip address: {s}")))?;
+            *o = part
+                .parse::<u8>()
+                .map_err(|_| NineError::new(format!("bad ip address: {s}")))?;
+        }
+        if parts.next().is_some() {
+            return Err(NineError::new(format!("bad ip address: {s}")));
+        }
+        Ok(IpAddr(u32::from_be_bytes(octets)))
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(&self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Whether `other` is on the same subnet under `mask`.
+    pub fn same_net(&self, other: IpAddr, mask: IpAddr) -> bool {
+        (self.0 & mask.0) == (other.0 & mask.0)
+    }
+
+    /// The network address under `mask`.
+    pub fn net(&self, mask: IpAddr) -> IpAddr {
+        IpAddr(self.0 & mask.0)
+    }
+}
+
+impl std::fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl std::str::FromStr for IpAddr {
+    type Err = NineError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        IpAddr::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let a = IpAddr::parse("135.104.9.31").unwrap();
+        assert_eq!(a.to_string(), "135.104.9.31");
+        assert_eq!(a, IpAddr::new(135, 104, 9, 31));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"] {
+            assert!(IpAddr::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn subnet_math() {
+        let a = IpAddr::parse("135.104.9.31").unwrap();
+        let b = IpAddr::parse("135.104.9.6").unwrap();
+        let c = IpAddr::parse("135.104.52.2").unwrap();
+        let mask = IpAddr::parse("255.255.255.0").unwrap();
+        assert!(a.same_net(b, mask));
+        assert!(!a.same_net(c, mask));
+        assert_eq!(a.net(mask).to_string(), "135.104.9.0");
+    }
+}

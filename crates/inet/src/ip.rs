@@ -1,0 +1,523 @@
+//! The IP layer: encapsulation, ARP resolution, routing to the gateway,
+//! fragmentation and reassembly, and dispatch to the transport modules.
+//!
+//! One [`IpStack`] represents one host's IP interface on one Ethernet
+//! segment. A receiver kernel process (thread) drains the station and a
+//! loopback queue and dispatches inbound packets to UDP, TCP or IL.
+
+use crate::addr::IpAddr;
+use crate::arp::{ArpCache, ArpPacket, ARP_ETHERTYPE, ARP_REPLY, ARP_REQUEST, IP_ETHERTYPE};
+use crate::checksum::internet_checksum;
+use crate::{il, tcp, udp};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use plan9_netsim::ether::{EtherStation, BROADCAST};
+use plan9_ninep::NineError;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bytes of IP header (no options).
+pub const IP_HDR: usize = 20;
+
+/// How long a partially reassembled datagram is kept.
+const FRAG_TTL: Duration = Duration::from_secs(5);
+
+/// Interface configuration, as it would come from the ndb entry for the
+/// system (`ip=135.104.9.31 ipmask=255.255.255.0 ipgw=135.104.9.1`).
+#[derive(Debug, Clone)]
+pub struct IpConfig {
+    /// This interface's address.
+    pub addr: IpAddr,
+    /// The subnet mask.
+    pub mask: IpAddr,
+    /// Default gateway for off-subnet destinations.
+    pub gateway: Option<IpAddr>,
+}
+
+impl IpConfig {
+    /// A host on a /24 with no gateway.
+    pub fn local(addr: &str) -> IpConfig {
+        IpConfig {
+            addr: IpAddr::parse(addr).expect("bad address literal"),
+            mask: IpAddr::new(255, 255, 255, 0),
+            gateway: None,
+        }
+    }
+}
+
+/// Counters reported through the protocol devices' `stats` files.
+#[derive(Default)]
+pub struct IpStats {
+    /// Packets delivered up from the wire.
+    pub rx_packets: AtomicU64,
+    /// Packets sent.
+    pub tx_packets: AtomicU64,
+    /// Packets dropped for bad checksum or malformed headers.
+    pub rx_errors: AtomicU64,
+    /// Datagrams reassembled from fragments.
+    pub reassembled: AtomicU64,
+    /// Fragments emitted.
+    pub fragments_out: AtomicU64,
+}
+
+struct FragBuf {
+    parts: BTreeMap<u16, Vec<u8>>,
+    total: Option<usize>,
+    created: Instant,
+}
+
+/// A parsed IP datagram header.
+#[derive(Debug, Clone, Copy)]
+pub struct IpHeader {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport protocol number.
+    pub proto: u8,
+    /// Identification for reassembly.
+    pub id: u16,
+    /// Fragment offset in 8-byte units.
+    pub frag_offset: u16,
+    /// More-fragments flag.
+    pub more_frags: bool,
+}
+
+/// One host interface: IP over a simulated Ethernet station.
+pub struct IpStack {
+    cfg: IpConfig,
+    station: EtherStation,
+    loop_tx: Sender<Vec<u8>>,
+    /// The ARP cache (public for diagnostics and tests).
+    pub arp: ArpCache,
+    frag: Mutex<HashMap<(u32, u16), FragBuf>>,
+    ip_id: AtomicU16,
+    closed: AtomicBool,
+    /// Traffic counters.
+    pub stats: IpStats,
+    pub(crate) udp: udp::UdpModule,
+    pub(crate) tcp: tcp::TcpModule,
+    pub(crate) il: il::IlModule,
+}
+
+impl IpStack {
+    /// Brings up an interface and starts its receiver processes.
+    pub fn new(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
+        let (loop_tx, loop_rx) = unbounded();
+        let stack = Arc::new(IpStack {
+            cfg,
+            station,
+            loop_tx,
+            arp: ArpCache::new(),
+            frag: Mutex::new(HashMap::new()),
+            ip_id: AtomicU16::new(1),
+            closed: AtomicBool::new(false),
+            stats: IpStats::default(),
+            udp: udp::UdpModule::new(),
+            tcp: tcp::TcpModule::new(),
+            il: il::IlModule::new(),
+        });
+        // The wire receiver: the "kernel process" the paper's device
+        // interfaces wake from their interrupt routines.
+        let rx_stack = Arc::clone(&stack);
+        std::thread::Builder::new()
+            .name(format!("ip-rx-{}", rx_stack.cfg.addr))
+            .spawn(move || rx_stack.wire_loop())
+            .expect("spawn ip-rx");
+        // The loopback receiver: packets a host sends to itself.
+        let lo_stack = Arc::clone(&stack);
+        std::thread::Builder::new()
+            .name(format!("ip-lo-{}", lo_stack.cfg.addr))
+            .spawn(move || lo_stack.loop_loop(loop_rx))
+            .expect("spawn ip-lo");
+        stack
+    }
+
+    /// This interface's address.
+    pub fn addr(&self) -> IpAddr {
+        self.cfg.addr
+    }
+
+    /// The configuration the stack was brought up with.
+    pub fn config(&self) -> &IpConfig {
+        &self.cfg
+    }
+
+    /// The largest transport payload that fits in one IP packet on this
+    /// medium without fragmentation.
+    pub fn mtu(&self) -> usize {
+        self.station.payload_mtu() - IP_HDR
+    }
+
+    /// Stops the receiver processes. Existing connections will fail.
+    pub fn shutdown(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the stack has been shut down.
+    pub fn is_shutdown(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Access to the UDP transport.
+    pub fn udp_module(&self) -> &udp::UdpModule {
+        &self.udp
+    }
+
+    /// Access to the TCP transport.
+    pub fn tcp_module(&self) -> &tcp::TcpModule {
+        &self.tcp
+    }
+
+    /// Access to the IL transport.
+    pub fn il_module(&self) -> &il::IlModule {
+        &self.il
+    }
+
+    fn wire_loop(self: Arc<Self>) {
+        while !self.is_shutdown() {
+            let Some(frame) = self.station.recv_timeout(Duration::from_millis(50)) else {
+                continue;
+            };
+            match frame.ethertype {
+                ARP_ETHERTYPE => self.handle_arp(&frame.payload),
+                IP_ETHERTYPE => self.handle_ip(&frame.payload),
+                _ => {}
+            }
+        }
+    }
+
+    fn loop_loop(self: Arc<Self>, rx: Receiver<Vec<u8>>) {
+        while !self.is_shutdown() {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(pkt) => self.handle_ip(&pkt),
+                Err(_) => continue,
+            }
+        }
+    }
+
+    fn handle_arp(&self, payload: &[u8]) {
+        let Some(pkt) = ArpPacket::decode(payload) else {
+            return;
+        };
+        // Learn the sender unconditionally; hosts that talk to us are
+        // hosts we will talk back to.
+        self.arp.learn(pkt.sender_ip, pkt.sender_mac);
+        if pkt.op == ARP_REQUEST && pkt.target_ip == self.cfg.addr {
+            let reply = ArpPacket {
+                op: ARP_REPLY,
+                sender_mac: self.station.addr,
+                sender_ip: self.cfg.addr,
+                target_mac: pkt.sender_mac,
+                target_ip: pkt.sender_ip,
+            };
+            let _ = self
+                .station
+                .send(pkt.sender_mac, ARP_ETHERTYPE, &reply.encode());
+        }
+    }
+
+    fn handle_ip(self: &Arc<Self>, packet: &[u8]) {
+        let Some((hdr, payload)) = decode_ip(packet) else {
+            self.stats.rx_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if hdr.dst != self.cfg.addr && hdr.dst != IpAddr::BROADCAST {
+            return; // not ours; the bus shows us everything
+        }
+        let assembled = if hdr.frag_offset == 0 && !hdr.more_frags {
+            Some(payload.to_vec())
+        } else {
+            self.reassemble(&hdr, payload)
+        };
+        let Some(data) = assembled else {
+            return;
+        };
+        self.stats.rx_packets.fetch_add(1, Ordering::Relaxed);
+        match hdr.proto {
+            udp::UDP_PROTO => udp::UdpModule::input(self, hdr.src, &data),
+            tcp::TCP_PROTO => tcp::TcpModule::input(self, hdr.src, &data),
+            il::IL_PROTO => il::IlModule::input(self, hdr.src, &data),
+            _ => {}
+        }
+    }
+
+    fn reassemble(&self, hdr: &IpHeader, payload: &[u8]) -> Option<Vec<u8>> {
+        let mut frags = self.frag.lock();
+        // Purge stale entries while we are here.
+        frags.retain(|_, f| f.created.elapsed() < FRAG_TTL);
+        let key = (hdr.src.0, hdr.id);
+        let buf = frags.entry(key).or_insert_with(|| FragBuf {
+            parts: BTreeMap::new(),
+            total: None,
+            created: Instant::now(),
+        });
+        buf.parts.insert(hdr.frag_offset, payload.to_vec());
+        if !hdr.more_frags {
+            buf.total = Some(hdr.frag_offset as usize * 8 + payload.len());
+        }
+        let total = buf.total?;
+        // Check contiguity from offset zero.
+        let mut have = 0usize;
+        for (off, part) in &buf.parts {
+            if *off as usize * 8 != have {
+                return None;
+            }
+            have += part.len();
+        }
+        if have != total {
+            return None;
+        }
+        let mut out = Vec::with_capacity(total);
+        for part in buf.parts.values() {
+            out.extend_from_slice(part);
+        }
+        frags.remove(&key);
+        self.stats.reassembled.fetch_add(1, Ordering::Relaxed);
+        Some(out)
+    }
+
+    /// Sends a transport payload to `dst`, fragmenting as needed.
+    pub fn send(&self, dst: IpAddr, proto: u8, payload: &[u8]) -> crate::Result<()> {
+        let id = self.ip_id.fetch_add(1, Ordering::Relaxed);
+        let mtu_payload = self.mtu();
+        if payload.len() <= mtu_payload {
+            return self.send_one(dst, proto, id, 0, false, payload);
+        }
+        // Fragment on 8-byte boundaries.
+        let chunk = mtu_payload & !7;
+        let mut off = 0usize;
+        while off < payload.len() {
+            let end = (off + chunk).min(payload.len());
+            let more = end < payload.len();
+            self.send_one(dst, proto, id, (off / 8) as u16, more, &payload[off..end])?;
+            self.stats.fragments_out.fetch_add(1, Ordering::Relaxed);
+            off = end;
+        }
+        Ok(())
+    }
+
+    fn send_one(
+        &self,
+        dst: IpAddr,
+        proto: u8,
+        id: u16,
+        frag_offset: u16,
+        more_frags: bool,
+        payload: &[u8],
+    ) -> crate::Result<()> {
+        let hdr = IpHeader {
+            src: self.cfg.addr,
+            dst,
+            proto,
+            id,
+            frag_offset,
+            more_frags,
+        };
+        let packet = encode_ip(&hdr, payload);
+        self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+        if dst == self.cfg.addr {
+            // Loopback: delivered by the loopback kernel process.
+            return self
+                .loop_tx
+                .send(packet)
+                .map_err(|_| NineError::new("stack is down"));
+        }
+        if dst == IpAddr::BROADCAST {
+            return self
+                .station
+                .send(BROADCAST, IP_ETHERTYPE, &packet)
+                .map_err(NineError::new);
+        }
+        let mac = self.resolve(dst)?;
+        self.station
+            .send(mac, IP_ETHERTYPE, &packet)
+            .map_err(NineError::new)
+    }
+
+    /// Resolves the next-hop station address for `dst`, issuing ARP
+    /// requests as needed.
+    fn resolve(&self, dst: IpAddr) -> crate::Result<plan9_netsim::ether::MacAddr> {
+        let next_hop = if self.cfg.addr.same_net(dst, self.cfg.mask) {
+            dst
+        } else {
+            self.cfg
+                .gateway
+                .ok_or_else(|| NineError::new(format!("no route to {dst}")))?
+        };
+        if let Some(mac) = self.arp.lookup(next_hop) {
+            return Ok(mac);
+        }
+        let req = ArpPacket {
+            op: ARP_REQUEST,
+            sender_mac: self.station.addr,
+            sender_ip: self.cfg.addr,
+            target_mac: [0; 6],
+            target_ip: next_hop,
+        };
+        for _ in 0..3 {
+            self.station
+                .send(BROADCAST, ARP_ETHERTYPE, &req.encode())
+                .map_err(NineError::new)?;
+            if let Some(mac) = self.arp.wait_for(next_hop, Duration::from_millis(250)) {
+                return Ok(mac);
+            }
+        }
+        Err(NineError::new(format!("host unreachable: {next_hop}")))
+    }
+}
+
+/// Serializes an IP header + payload.
+pub fn encode_ip(hdr: &IpHeader, payload: &[u8]) -> Vec<u8> {
+    let total = (IP_HDR + payload.len()) as u16;
+    let mut b = Vec::with_capacity(total as usize);
+    b.push(0x45); // version 4, ihl 5
+    b.push(0); // tos
+    b.extend_from_slice(&total.to_be_bytes());
+    b.extend_from_slice(&hdr.id.to_be_bytes());
+    let frag_word = (hdr.frag_offset & 0x1fff) | if hdr.more_frags { 0x2000 } else { 0 };
+    b.extend_from_slice(&frag_word.to_be_bytes());
+    b.push(64); // ttl
+    b.push(hdr.proto);
+    b.extend_from_slice(&[0, 0]); // checksum placeholder
+    b.extend_from_slice(&hdr.src.octets());
+    b.extend_from_slice(&hdr.dst.octets());
+    let sum = internet_checksum(&b[..IP_HDR]);
+    b[10..12].copy_from_slice(&sum.to_be_bytes());
+    b.extend_from_slice(payload);
+    b
+}
+
+/// Parses an IP packet, verifying the header checksum and length.
+pub fn decode_ip(packet: &[u8]) -> Option<(IpHeader, &[u8])> {
+    if packet.len() < IP_HDR || packet[0] != 0x45 {
+        return None;
+    }
+    if internet_checksum(&packet[..IP_HDR]) != 0 {
+        return None;
+    }
+    let total = u16::from_be_bytes([packet[2], packet[3]]) as usize;
+    if total < IP_HDR || total > packet.len() {
+        return None;
+    }
+    let frag_word = u16::from_be_bytes([packet[6], packet[7]]);
+    Some((
+        IpHeader {
+            src: IpAddr(u32::from_be_bytes(packet[12..16].try_into().unwrap())),
+            dst: IpAddr(u32::from_be_bytes(packet[16..20].try_into().unwrap())),
+            proto: packet[9],
+            id: u16::from_be_bytes([packet[4], packet[5]]),
+            frag_offset: frag_word & 0x1fff,
+            more_frags: frag_word & 0x2000 != 0,
+        },
+        &packet[IP_HDR..total],
+    ))
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use plan9_netsim::ether::EtherSegment;
+    use plan9_netsim::profile::Profiles;
+
+    fn mac(n: u8) -> plan9_netsim::ether::MacAddr {
+        [0x08, 0x00, 0x69, 0, 0, n]
+    }
+
+    pub(crate) fn two_hosts() -> (Arc<IpStack>, Arc<IpStack>) {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = IpStack::new(seg.attach(mac(1)), IpConfig::local("10.0.0.1"));
+        let b = IpStack::new(seg.attach(mac(2)), IpConfig::local("10.0.0.2"));
+        (a, b)
+    }
+
+    #[test]
+    fn header_codec_round_trip() {
+        let hdr = IpHeader {
+            src: IpAddr::new(10, 0, 0, 1),
+            dst: IpAddr::new(10, 0, 0, 2),
+            proto: 40,
+            id: 7,
+            frag_offset: 0,
+            more_frags: false,
+        };
+        let pkt = encode_ip(&hdr, b"data");
+        let (h2, p2) = decode_ip(&pkt).unwrap();
+        assert_eq!(h2.src, hdr.src);
+        assert_eq!(h2.dst, hdr.dst);
+        assert_eq!(h2.proto, 40);
+        assert_eq!(p2, b"data");
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let hdr = IpHeader {
+            src: IpAddr::new(1, 2, 3, 4),
+            dst: IpAddr::new(5, 6, 7, 8),
+            proto: 6,
+            id: 1,
+            frag_offset: 0,
+            more_frags: false,
+        };
+        let mut pkt = encode_ip(&hdr, b"x");
+        pkt[12] ^= 0xff;
+        assert!(decode_ip(&pkt).is_none());
+    }
+
+    #[test]
+    fn arp_resolution_happens_automatically() {
+        let (a, b) = two_hosts();
+        // UDP send triggers ARP under the hood.
+        let sock_b = b.udp_module().bind(&b, 9999).unwrap();
+        let sock_a = a.udp_module().bind(&a, 0).unwrap();
+        sock_a
+            .send_to(IpAddr::parse("10.0.0.2").unwrap(), 9999, b"hello")
+            .unwrap();
+        let (src, _sport, data) = sock_b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(data, b"hello");
+        assert_eq!(src, IpAddr::parse("10.0.0.1").unwrap());
+        assert!(a.arp.len() >= 1);
+    }
+
+    #[test]
+    fn off_subnet_without_gateway_fails() {
+        let (a, _b) = two_hosts();
+        let err = a.send(IpAddr::new(192, 168, 1, 1), 17, b"x").unwrap_err();
+        assert!(err.0.contains("no route"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_host_times_out() {
+        let (a, _b) = two_hosts();
+        let err = a.send(IpAddr::new(10, 0, 0, 99), 17, b"x").unwrap_err();
+        assert!(err.0.contains("unreachable"), "{err}");
+    }
+
+    #[test]
+    fn loopback_delivery() {
+        let (a, _b) = two_hosts();
+        let sock = a.udp_module().bind(&a, 777).unwrap();
+        let me = a.addr();
+        sock.send_to(me, 777, b"self").unwrap();
+        let (_src, _sport, data) = sock.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(data, b"self");
+    }
+
+    #[test]
+    fn fragmentation_and_reassembly() {
+        let (a, b) = two_hosts();
+        let sock_b = b.udp_module().bind(&b, 5001).unwrap();
+        let sock_a = a.udp_module().bind(&a, 0).unwrap();
+        // Larger than the 1500-byte MTU: must fragment and reassemble.
+        let big: Vec<u8> = (0..4000u32).map(|i| i as u8).collect();
+        sock_a
+            .send_to(IpAddr::parse("10.0.0.2").unwrap(), 5001, &big)
+            .unwrap();
+        let (_s, _p, data) = sock_b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(data, big);
+        assert!(a.stats.fragments_out.load(Ordering::Relaxed) >= 3);
+        assert_eq!(b.stats.reassembled.load(Ordering::Relaxed), 1);
+    }
+}

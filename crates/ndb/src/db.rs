@@ -1,0 +1,241 @@
+//! The multi-file database and its query interface.
+//!
+//! "All programs read the database directly so consistency problems are
+//! rare." A [`Db`] is a list of files — conventionally `local` then
+//! `global` — searched in order. Queries try a per-attribute hash file
+//! first and fall back to a linear scan when the hash is missing or its
+//! recorded modification time no longer matches the master file.
+
+use crate::hash::{hash_lookup, HASH_SUFFIX_SEP};
+use crate::parse::{parse_entries, parse_entry_at, Entry};
+use std::path::{Path, PathBuf};
+
+/// One loaded database file.
+pub struct DbFile {
+    /// Where the file lives (None for in-memory test databases).
+    pub path: Option<PathBuf>,
+    /// The raw text, kept for offset-based hash lookups.
+    pub text: String,
+    /// Modification time (seconds) when loaded; hash files must match.
+    pub mtime: u64,
+    /// Parsed entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl DbFile {
+    /// Loads a file from disk.
+    pub fn open(path: &Path) -> crate::Result<DbFile> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("ndb: open {}: {e}", path.display()))?;
+        let mtime = file_mtime(path)?;
+        let entries = parse_entries(&text);
+        Ok(DbFile {
+            path: Some(path.to_path_buf()),
+            text,
+            mtime,
+            entries,
+        })
+    }
+
+    /// Builds an in-memory file from text (no hash support).
+    pub fn from_text(text: &str) -> DbFile {
+        DbFile {
+            path: None,
+            text: text.to_string(),
+            mtime: 0,
+            entries: parse_entries(text),
+        }
+    }
+}
+
+/// Reads a file's mtime in whole seconds.
+pub fn file_mtime(path: &Path) -> crate::Result<u64> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("ndb: stat {}: {e}", path.display()))?;
+    let mtime = meta
+        .modified()
+        .map_err(|e| format!("ndb: mtime {}: {e}", path.display()))?;
+    Ok(mtime
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs())
+}
+
+/// The network database: an ordered list of files.
+pub struct Db {
+    /// The files, local first.
+    pub files: Vec<DbFile>,
+    /// Count of linear-scan queries (observability for the scale bench).
+    pub scans: std::sync::atomic::AtomicU64,
+    /// Count of hash-hit queries.
+    pub hash_hits: std::sync::atomic::AtomicU64,
+}
+
+impl Db {
+    /// Opens the database from the given file paths (missing files are
+    /// an error; the paper's system always has `local`).
+    pub fn open(paths: &[PathBuf]) -> crate::Result<Db> {
+        let mut files = Vec::new();
+        for p in paths {
+            files.push(DbFile::open(p)?);
+        }
+        Ok(Db {
+            files,
+            scans: Default::default(),
+            hash_hits: Default::default(),
+        })
+    }
+
+    /// Builds an in-memory database from text blobs (tests, machines
+    /// without a disk).
+    pub fn from_texts(texts: &[&str]) -> Db {
+        Db {
+            files: texts.iter().map(|t| DbFile::from_text(t)).collect(),
+            scans: Default::default(),
+            hash_hits: Default::default(),
+        }
+    }
+
+    /// Total number of entries across all files.
+    pub fn len(&self) -> usize {
+        self.files.iter().map(|f| f.entries.len()).sum()
+    }
+
+    /// Whether the database has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finds every entry containing `attr=value`, using a hash file when
+    /// a fresh one exists, in file order.
+    pub fn query(&self, attr: &str, value: &str) -> Vec<Entry> {
+        let mut out = Vec::new();
+        for file in &self.files {
+            match self.query_file_hashed(file, attr, value) {
+                Some(mut entries) => {
+                    self.hash_hits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    out.append(&mut entries);
+                }
+                None => {
+                    self.scans
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    out.extend(
+                        file.entries
+                            .iter()
+                            .filter(|e| e.has(attr, value))
+                            .cloned(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// The first entry containing `attr=value`.
+    pub fn query_one(&self, attr: &str, value: &str) -> Option<Entry> {
+        self.query(attr, value).into_iter().next()
+    }
+
+    /// Finds an entry for a system named by any of its names: `sys`,
+    /// `dom`, `ip` or `dk`.
+    pub fn find_system(&self, name: &str) -> Option<Entry> {
+        for attr in ["sys", "dom", "ip", "dk"] {
+            if let Some(e) = self.query_one(attr, name) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Service-name lookup: `tcp=echo port=7` → `lookup_service("tcp",
+    /// "echo")` = 7. Numeric names pass through.
+    pub fn lookup_service(&self, proto: &str, name: &str) -> Option<u16> {
+        if let Ok(n) = name.parse::<u16>() {
+            return Some(n);
+        }
+        self.query_one(proto, name)
+            .and_then(|e| e.get("port").and_then(|p| p.parse().ok()))
+    }
+
+    fn query_file_hashed(&self, file: &DbFile, attr: &str, value: &str) -> Option<Vec<Entry>> {
+        let path = file.path.as_ref()?;
+        let hash_path = PathBuf::from(format!(
+            "{}{}{}",
+            path.display(),
+            HASH_SUFFIX_SEP,
+            attr
+        ));
+        let offsets = hash_lookup(&hash_path, file.mtime, value)?;
+        let mut out = Vec::new();
+        for off in offsets {
+            if let Some(e) = parse_entry_at(&file.text, off) {
+                if e.has(attr, value) {
+                    out.push(e);
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOCAL: &str = "\
+sys=helix dom=helix.research.bell-labs.com ip=135.104.9.31 dk=nj/astro/helix proto=il\n\
+sys=bootes dom=bootes.research.bell-labs.com ip=135.104.9.2\n\
+tcp=echo port=7\ntcp=discard port=9\ntcp=login port=513\nil=9fs port=17008\n";
+
+    const GLOBAL: &str = "\
+dom=ai.mit.edu ip=128.52.32.80\n\
+sys=musca ip=135.104.9.6 dk=nj/astro/musca auth=p9auth\n";
+
+    fn db() -> Db {
+        Db::from_texts(&[LOCAL, GLOBAL])
+    }
+
+    #[test]
+    fn query_across_files_in_order() {
+        let d = db();
+        let hits = d.query("ip", "135.104.9.31");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("sys"), Some("helix"));
+        let hits = d.query("dom", "ai.mit.edu");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn find_system_by_any_name() {
+        let d = db();
+        for name in [
+            "helix",
+            "helix.research.bell-labs.com",
+            "135.104.9.31",
+            "nj/astro/helix",
+        ] {
+            let e = d.find_system(name).unwrap_or_else(|| panic!("{name}"));
+            assert_eq!(e.get("sys"), Some("helix"));
+        }
+        assert!(d.find_system("nonesuch").is_none());
+    }
+
+    #[test]
+    fn service_lookup_like_paper() {
+        let d = db();
+        assert_eq!(d.lookup_service("tcp", "echo"), Some(7));
+        assert_eq!(d.lookup_service("tcp", "discard"), Some(9));
+        assert_eq!(d.lookup_service("tcp", "login"), Some(513));
+        assert_eq!(d.lookup_service("il", "9fs"), Some(17008));
+        assert_eq!(d.lookup_service("tcp", "17010"), Some(17010));
+        assert_eq!(d.lookup_service("tcp", "nonesuch"), None);
+    }
+
+    #[test]
+    fn in_memory_db_always_scans() {
+        let d = db();
+        d.query("sys", "helix");
+        assert!(d.scans.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert_eq!(d.hash_hits.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+}

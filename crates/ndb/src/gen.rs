@@ -1,0 +1,87 @@
+//! Synthetic database generation for the §4.1 scale experiment.
+//!
+//! "Our global file, containing all information about both Datakit and
+//! Internet systems in AT&T, has 43,000 lines." This module produces a
+//! global file of the same shape and size so the hashed-vs-linear search
+//! benchmark runs against realistic data.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Deterministically generates a global ndb file with roughly
+/// `target_lines` lines. Returns the text and the list of system names,
+/// so benchmarks can query names that exist.
+pub fn generate_global(target_lines: usize, seed: u64) -> (String, Vec<String>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut text = String::new();
+    let mut names = Vec::new();
+    text.push_str("# synthetic AT&T-wide database (generated)\n");
+    let sites = [
+        "astro", "research", "honet", "cbosgd", "ihnp4", "mtune", "allegra", "ulysses",
+    ];
+    // Each system entry takes ~6 lines, matching the paper's example.
+    let mut lines = 1usize;
+    let mut serial = 0usize;
+    while lines + 6 <= target_lines {
+        let site = sites[rng.gen_range(0..sites.len())];
+        let name = format!("{}{:05}", pick_name(&mut rng), serial);
+        serial += 1;
+        let a = rng.gen_range(1..250u8);
+        let b = rng.gen_range(1..250u8);
+        let ip = format!("135.{}.{}.{}", rng.gen_range(1..200u8), a, b);
+        let ether: String = (0..6)
+            .map(|_| format!("{:02x}", rng.gen_range(0..=255u8)))
+            .collect();
+        writeln!(text, "sys={name}").unwrap();
+        writeln!(text, "\tdom={name}.{site}.att.com").unwrap();
+        writeln!(text, "\tip={ip} ether={ether}").unwrap();
+        writeln!(text, "\tdk=nj/{site}/{name}").unwrap();
+        writeln!(text, "\tbootf=/mips/9power").unwrap();
+        writeln!(text, "\tproto=il").unwrap();
+        lines += 6;
+        names.push(name);
+    }
+    (text, names)
+}
+
+fn pick_name(rng: &mut SmallRng) -> &'static str {
+    const STEMS: [&str; 12] = [
+        "helix", "spindle", "bootes", "musca", "pyxis", "fornax", "lepus", "crux", "dorado",
+        "carina", "volans", "tucana",
+    ];
+    STEMS[rng.gen_range(0..STEMS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+
+    #[test]
+    fn generates_requested_size() {
+        let (text, names) = generate_global(1200, 42);
+        let lines = text.lines().count();
+        assert!(lines > 1100 && lines <= 1200, "{lines}");
+        assert!(!names.is_empty());
+    }
+
+    #[test]
+    fn generated_text_parses_and_queries() {
+        let (text, names) = generate_global(600, 7);
+        let db = Db::from_texts(&[&text]);
+        assert_eq!(db.len(), names.len());
+        let e = db.query_one("sys", &names[0]).unwrap();
+        assert!(e.get("dom").unwrap().ends_with(".att.com"));
+        assert!(e.get("dk").unwrap().starts_with("nj/"));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (a, _) = generate_global(300, 1);
+        let (b, _) = generate_global(300, 1);
+        assert_eq!(a, b);
+        let (c, _) = generate_global(300, 2);
+        assert_ne!(a, c);
+    }
+}

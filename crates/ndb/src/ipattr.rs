@@ -1,0 +1,172 @@
+//! The "$attr" closest-association search (§4.2).
+//!
+//! "A host name of the form `$attr` is the name of an attribute in the
+//! network database. The database search returns the value of the
+//! matching attribute/value pair most closely associated with the source
+//! host. ... the symbolic name `tcp!$auth!rexauth` causes CS to search
+//! for the `auth` attribute in the database entry for the source system,
+//! then its subnetwork (if there is one) and then its network."
+
+use crate::db::Db;
+use crate::parse::Entry;
+
+/// Parses dotted-decimal into a u32 (no dependency on plan9-inet, which
+/// sits above this crate).
+fn parse_ip(s: &str) -> Option<u32> {
+    let mut v: u32 = 0;
+    let mut n = 0;
+    for part in s.split('.') {
+        let octet: u8 = part.parse().ok()?;
+        v = (v << 8) | octet as u32;
+        n += 1;
+    }
+    if n == 4 {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+/// Infers a network's containment mask from trailing zero octets of the
+/// network number (135.104.0.0 → /16, 135.104.51.0 → /24), the class-era
+/// reading. An `ipmask` attribute on a network entry describes how that
+/// network is *subnetted* (the paper's Class B example carries
+/// `ipmask=255.255.255.0`), not the network's own extent, so it does not
+/// participate in containment.
+fn net_mask(_entry: &Entry, net: u32) -> u32 {
+    if net & 0x00ff_ffff == 0 {
+        0xff00_0000
+    } else if net & 0x0000_ffff == 0 {
+        0xffff_0000
+    } else {
+        0xffff_ff00
+    }
+}
+
+/// An `ipnet` entry that contains `ip`, with its specificity.
+fn ipnet_matches(entry: &Entry, ip: u32) -> Option<u32> {
+    let net = entry.get("ip").and_then(parse_ip)?;
+    entry.get("ipnet")?;
+    let mask = net_mask(entry, net);
+    if ip & mask == net & mask {
+        Some(mask)
+    } else {
+        None
+    }
+}
+
+/// Searches for `attr` most closely associated with the source host:
+/// the host's own entry first, then each containing `ipnet` entry from
+/// most to least specific. Returns every value found, deduplicated, in
+/// association order.
+pub fn ipattr_search(db: &Db, src_name: &str, attr: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |vals: Vec<&str>| {
+        for v in vals {
+            if !out.iter().any(|o| o == v) {
+                out.push(v.to_string());
+            }
+        }
+    };
+    // The source system's own entry.
+    let host = db.find_system(src_name);
+    if let Some(h) = &host {
+        push(h.all(attr));
+    }
+    // Its subnetwork, then its network.
+    let ip = host
+        .as_ref()
+        .and_then(|h| h.get("ip"))
+        .and_then(parse_ip)
+        .or_else(|| parse_ip(src_name));
+    if let Some(ip) = ip {
+        let mut nets: Vec<(u32, Entry)> = Vec::new();
+        for file in &db.files {
+            for e in &file.entries {
+                if let Some(mask) = ipnet_matches(e, ip) {
+                    nets.push((mask, e.clone()));
+                }
+            }
+        }
+        // Most specific (largest mask) first.
+        nets.sort_by(|a, b| b.0.cmp(&a.0));
+        for (_, e) in nets {
+            push(e.all(attr));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §4.1 network entries, with hosts added.
+    const TEXT: &str = "\
+ipnet=mh-astro-net ip=135.104.0.0 ipmask=255.255.255.0
+\tfs=bootes.research.bell-labs.com
+\tauth=1127auth
+ipnet=unix-room ip=135.104.117.0
+\tipgw=135.104.117.1
+ipnet=third-floor ip=135.104.51.0
+\tipgw=135.104.51.1
+ipnet=fourth-floor ip=135.104.52.0
+\tipgw=135.104.52.1
+sys=helix ip=135.104.9.31
+sys=spindle ip=135.104.117.5 auth=spindleauth
+";
+
+    fn db() -> Db {
+        Db::from_texts(&[TEXT])
+    }
+
+    #[test]
+    fn host_entry_wins() {
+        let vals = ipattr_search(&db(), "spindle", "auth");
+        assert_eq!(vals[0], "spindleauth");
+        // The network's auth server is still offered after.
+        assert!(vals.contains(&"1127auth".to_string()));
+    }
+
+    #[test]
+    fn falls_to_network_when_host_lacks_attr() {
+        let vals = ipattr_search(&db(), "helix", "auth");
+        assert_eq!(vals, vec!["1127auth"]);
+    }
+
+    #[test]
+    fn subnet_before_network() {
+        let vals = ipattr_search(&db(), "spindle", "ipgw");
+        // unix-room (135.104.117.0/24) is more specific than the Class B
+        // mh-astro-net (135.104.0.0/16), which has no ipgw anyway.
+        assert_eq!(vals, vec!["135.104.117.1"]);
+    }
+
+    #[test]
+    fn fs_attribute_found_for_any_host_on_net() {
+        // Every 135.104.x.x host is on the Class B mh-astro-net.
+        let vals = ipattr_search(&db(), "helix", "fs");
+        assert_eq!(vals, vec!["bootes.research.bell-labs.com"]);
+    }
+
+    #[test]
+    fn inferred_masks_from_trailing_zeros() {
+        let text = "ipnet=big ip=10.0.0.0 dns=10.0.0.53\nipnet=small ip=10.1.2.0 dns=10.1.2.53\nsys=h ip=10.1.2.9\n";
+        let db = Db::from_texts(&[text]);
+        let vals = ipattr_search(&db, "h", "dns");
+        // /24 "small" first, /8 "big" second.
+        assert_eq!(vals, vec!["10.1.2.53", "10.0.0.53"]);
+    }
+
+    #[test]
+    fn unknown_host_by_ip_literal() {
+        let vals = ipattr_search(&db(), "135.104.51.40", "ipgw");
+        assert_eq!(vals, vec!["135.104.51.1"]);
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        assert!(ipattr_search(&db(), "1.2.3.4", "auth").is_empty());
+        assert!(ipattr_search(&db(), "helix", "nonesuch").is_empty());
+    }
+}

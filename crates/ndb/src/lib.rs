@@ -1,0 +1,39 @@
+//! The Plan 9 network database, ndb (§4.1 of the paper).
+//!
+//! "One database on a shared server contains all the information needed
+//! for network administration. Two ASCII files comprise the main
+//! database: `/lib/ndb/local` contains locally administered information
+//! and `/lib/ndb/global` contains information imported from elsewhere.
+//! The files contain sets of attribute/value pairs of the form
+//! `attr=value` ... Systems are described by multi-line entries; a header
+//! line at the left margin begins each entry followed by zero or more
+//! indented attribute/value pairs."
+//!
+//! Faithful pieces:
+//!
+//! * [`parse`] — the tokenizer and entry parser, including quoted values
+//!   and comments.
+//! * [`db`] — the multi-file database with attribute queries.
+//! * [`hash`] — on-disk per-attribute hash files that carry the master
+//!   file's modification time; stale or missing hash files silently fall
+//!   back to a linear scan, exactly as the paper describes.
+//! * [`ipattr`] — the "most closely associated" `$attr` search: source
+//!   system first, then its subnetwork, then its network.
+//! * [`gen`] — a synthetic 43,000-line global database, matching the
+//!   paper's description of the AT&T-wide file, for the scale benchmark.
+
+pub mod db;
+pub mod gen;
+pub mod hash;
+pub mod ipattr;
+pub mod parse;
+
+pub use db::{Db, DbFile};
+pub use ipattr::ipattr_search;
+pub use parse::{parse_entries, Entry};
+
+/// Errors from database operations.
+pub type NdbError = String;
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, NdbError>;

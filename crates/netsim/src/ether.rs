@@ -1,0 +1,314 @@
+//! A shared-medium Ethernet segment.
+//!
+//! "Connections from the servers fan out to local terminals using medium
+//! speed networks such as Ethernet." The segment is a true bus: every
+//! transmission serializes all stations on one medium, and every station
+//! receives a copy of every frame. Address and packet-type filtering is
+//! done *above*, in the Ethernet device driver, because Plan 9's driver
+//! supports per-conversation packet types, the `-1` receive-everything
+//! type, and promiscuous mode (§2.2) — all of which need the raw feed.
+
+use crate::profile::LinkProfile;
+use crate::wire::Medium;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A six-byte station address.
+pub type MacAddr = [u8; 6];
+
+/// The broadcast address.
+pub const BROADCAST: MacAddr = [0xff; 6];
+
+/// Bytes of Ethernet header: dst(6) + src(6) + type(2).
+pub const ETHER_HDR: usize = 14;
+
+/// Largest frame (header + payload).
+pub const ETHER_MTU: usize = 1514;
+
+/// Formats a MAC address the way Plan 9's ndb does: 12 hex digits.
+pub fn mac_to_string(m: &MacAddr) -> String {
+    m.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Parses a 12-hex-digit MAC address.
+pub fn mac_from_string(s: &str) -> Option<MacAddr> {
+    if s.len() != 12 {
+        return None;
+    }
+    let mut m = [0u8; 6];
+    for i in 0..6 {
+        m[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+    }
+    Some(m)
+}
+
+/// An assembled Ethernet frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtherFrame {
+    /// Destination station.
+    pub dst: MacAddr,
+    /// Source station.
+    pub src: MacAddr,
+    /// Packet type (0x0800 = IP, 0x0806 = ARP, ...).
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl EtherFrame {
+    /// Serializes the frame for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ETHER_HDR + self.payload.len());
+        buf.extend_from_slice(&self.dst);
+        buf.extend_from_slice(&self.src);
+        buf.extend_from_slice(&self.ethertype.to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses a frame from wire bytes.
+    pub fn decode(buf: &[u8]) -> Option<EtherFrame> {
+        if buf.len() < ETHER_HDR {
+            return None;
+        }
+        Some(EtherFrame {
+            dst: buf[0..6].try_into().unwrap(),
+            src: buf[6..12].try_into().unwrap(),
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+            payload: buf[ETHER_HDR..].to_vec(),
+        })
+    }
+}
+
+struct InFlight {
+    deliver_at: Instant,
+    frame: Vec<u8>,
+}
+
+struct StationSlot {
+    addr: MacAddr,
+    tx: Sender<InFlight>,
+}
+
+/// A shared Ethernet segment: attach stations, then send and receive.
+pub struct EtherSegment {
+    medium: Arc<Medium>,
+    stations: Mutex<Vec<StationSlot>>,
+}
+
+impl EtherSegment {
+    /// Creates a segment with the given link profile.
+    pub fn new(profile: LinkProfile) -> Arc<EtherSegment> {
+        Arc::new(EtherSegment {
+            medium: Medium::new(profile),
+            stations: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Attaches a station with the given address.
+    pub fn attach(self: &Arc<Self>, addr: MacAddr) -> EtherStation {
+        let (tx, rx) = unbounded();
+        self.stations.lock().push(StationSlot { addr, tx });
+        EtherStation {
+            addr,
+            segment: Arc::clone(self),
+            rx,
+        }
+    }
+
+    /// Number of attached stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.lock().len()
+    }
+
+    /// The MTU of this segment.
+    pub fn mtu(&self) -> usize {
+        self.medium.profile().mtu
+    }
+
+    /// Transmits raw frame bytes from `from`, delivering a copy to every
+    /// *other* station (bus semantics; controllers do not hear their own
+    /// transmissions).
+    fn broadcast(&self, from: MacAddr, frame: &[u8]) -> crate::Result<()> {
+        if frame.len() > self.medium.profile().mtu {
+            return Err(format!(
+                "ether frame of {} bytes exceeds mtu {}",
+                frame.len(),
+                self.medium.profile().mtu
+            ));
+        }
+        // Seize the bus for the transmission time.
+        let done = self.medium.transmit(frame.len());
+        let mut f = frame.to_vec();
+        let (copies, extra) = self.medium_impair(&mut f);
+        if copies == 0 {
+            return Ok(());
+        }
+        let deliver_at = done + self.medium.profile().propagation + extra;
+        let stations = self.stations.lock();
+        for s in stations.iter() {
+            if s.addr == from {
+                continue;
+            }
+            for _ in 0..copies {
+                let _ = s.tx.send(InFlight {
+                    deliver_at,
+                    frame: f.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn medium_impair(&self, f: &mut Vec<u8>) -> (usize, Duration) {
+        self.medium.impair(f)
+    }
+}
+
+/// One station (interface) on a segment.
+pub struct EtherStation {
+    /// The station's address.
+    pub addr: MacAddr,
+    segment: Arc<EtherSegment>,
+    rx: Receiver<InFlight>,
+}
+
+impl EtherStation {
+    /// Transmits a frame; the source address is stamped from the station.
+    pub fn send(&self, dst: MacAddr, ethertype: u16, payload: &[u8]) -> crate::Result<()> {
+        let frame = EtherFrame {
+            dst,
+            src: self.addr,
+            ethertype,
+            payload: payload.to_vec(),
+        };
+        self.segment.broadcast(self.addr, &frame.encode())
+    }
+
+    /// Transmits pre-encoded frame bytes (the driver's `data` file path).
+    pub fn send_raw(&self, frame: &[u8]) -> crate::Result<()> {
+        self.segment.broadcast(self.addr, frame)
+    }
+
+    /// Blocks for the next frame on the wire (unfiltered).
+    pub fn recv(&self) -> Option<EtherFrame> {
+        let inflight = self.rx.recv().ok()?;
+        wait_until(inflight.deliver_at);
+        EtherFrame::decode(&inflight.frame)
+    }
+
+    /// Waits for a frame until the timeout elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<EtherFrame> {
+        let deadline = Instant::now() + timeout;
+        let inflight = match self.rx.recv_timeout(timeout) {
+            Ok(f) => f,
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return None,
+        };
+        // Honor propagation, but never past the caller's deadline by much:
+        // frames are small and the delay is tens of microseconds.
+        let _ = deadline;
+        wait_until(inflight.deliver_at);
+        EtherFrame::decode(&inflight.frame)
+    }
+
+    /// The maximum payload this station can send.
+    pub fn payload_mtu(&self) -> usize {
+        self.segment.mtu() - ETHER_HDR
+    }
+}
+
+fn wait_until(t: Instant) {
+    let now = Instant::now();
+    if t > now {
+        std::thread::sleep(t - now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiles;
+
+    fn mac(n: u8) -> MacAddr {
+        [0x08, 0x00, 0x69, 0x02, 0x22, n]
+    }
+
+    #[test]
+    fn frame_codec_round_trip() {
+        let f = EtherFrame {
+            dst: BROADCAST,
+            src: mac(1),
+            ethertype: 0x0800,
+            payload: b"payload".to_vec(),
+        };
+        assert_eq!(EtherFrame::decode(&f.encode()).unwrap(), f);
+        assert!(EtherFrame::decode(&[0u8; 5]).is_none());
+    }
+
+    #[test]
+    fn mac_string_round_trip() {
+        let m = mac(0xf0);
+        assert_eq!(mac_to_string(&m), "08006902 22f0".replace(' ', ""));
+        assert_eq!(mac_from_string(&mac_to_string(&m)).unwrap(), m);
+        assert!(mac_from_string("xyz").is_none());
+    }
+
+    #[test]
+    fn every_other_station_hears() {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = seg.attach(mac(1));
+        let b = seg.attach(mac(2));
+        let c = seg.attach(mac(3));
+        a.send(mac(2), 0x0800, b"to b").unwrap();
+        // Both b and c hear it (bus); the driver filters by address.
+        assert_eq!(b.recv().unwrap().payload, b"to b");
+        assert_eq!(c.recv().unwrap().payload, b"to b");
+        assert!(a.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn shared_medium_serializes_senders() {
+        // With a 1 Mbit/s bus, 8 frames of 1250 bytes take 80 ms even
+        // when sent from two stations concurrently.
+        let profile = crate::profile::LinkProfile {
+            bandwidth_bps: 1_000_000,
+            ..Profiles::ether_fast()
+        };
+        let seg = EtherSegment::new(profile);
+        let a = seg.attach(mac(1));
+        let b = seg.attach(mac(2));
+        let c = seg.attach(mac(3));
+        let start = Instant::now();
+        let ha = std::thread::spawn(move || {
+            for _ in 0..4 {
+                a.send(mac(3), 1, &[0u8; 1250]).unwrap();
+            }
+        });
+        let hb = std::thread::spawn(move || {
+            for _ in 0..4 {
+                b.send(mac(3), 1, &[0u8; 1250]).unwrap();
+            }
+        });
+        ha.join().unwrap();
+        hb.join().unwrap();
+        let mut got = 0;
+        while c.recv_timeout(Duration::from_millis(100)).is_some() {
+            got += 1;
+            if got == 8 {
+                break;
+            }
+        }
+        assert_eq!(got, 8);
+        assert!(start.elapsed() >= Duration::from_millis(75));
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = seg.attach(mac(1));
+        let _b = seg.attach(mac(2));
+        assert!(a.send(mac(2), 1, &vec![0u8; 1600]).is_err());
+    }
+}

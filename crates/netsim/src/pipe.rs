@@ -1,0 +1,76 @@
+//! In-memory pipes: the fastest path in Table 1.
+//!
+//! Pipes are asynchronous communication channels implemented with
+//! streams in Plan 9 (§2.4); here the simulated medium is simply an
+//! unpaced, delimiter-preserving duplex channel — memory speed, like the
+//! paper's pipes row.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// One end of a duplex pipe.
+pub struct PipeEnd {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl PipeEnd {
+    /// Sends one delimited message.
+    pub fn send(&self, frame: &[u8]) -> crate::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| "pipe: peer gone".to_string())
+    }
+
+    /// Blocks for the next message; `None` on hangup.
+    pub fn recv(&self) -> Option<Vec<u8>> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits for a message until the timeout elapses; `Ok(None)` on
+    /// hangup, `Err(())` on timeout.
+    pub fn recv_timeout(&self, d: Duration) -> Result<Option<Vec<u8>>, ()> {
+        match self.rx.recv_timeout(d) {
+            Ok(f) => Ok(Some(f)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(()),
+        }
+    }
+}
+
+/// Creates a connected pair of pipe ends.
+pub fn pipe_pair() -> (PipeEnd, PipeEnd) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (PipeEnd { tx: atx, rx: brx }, PipeEnd { tx: btx, rx: arx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplex_and_delimited() {
+        let (a, b) = pipe_pair();
+        a.send(b"one").unwrap();
+        a.send(b"two").unwrap();
+        b.send(b"back").unwrap();
+        assert_eq!(b.recv().unwrap(), b"one");
+        assert_eq!(b.recv().unwrap(), b"two");
+        assert_eq!(a.recv().unwrap(), b"back");
+    }
+
+    #[test]
+    fn hangup() {
+        let (a, b) = pipe_pair();
+        drop(a);
+        assert_eq!(b.recv(), None);
+        assert!(b.send(b"x").is_err());
+    }
+
+    #[test]
+    fn timeout() {
+        let (_a, b) = pipe_pair();
+        assert_eq!(b.recv_timeout(Duration::from_millis(10)), Err(()));
+    }
+}

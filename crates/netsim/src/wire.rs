@@ -1,0 +1,338 @@
+//! The pacing engine: a unidirectional frame wire.
+//!
+//! A wire carries whole frames from one sender to one receiver. The
+//! sender is blocked for the frame's transmission time (serializing the
+//! line), the frame is delivered after the propagation delay, and the
+//! configured impairments (loss, duplication, corruption, reordering)
+//! are applied in flight.
+
+use crate::profile::LinkProfile;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A frame in flight with its delivery time.
+struct InFlight {
+    deliver_at: Instant,
+    frame: Vec<u8>,
+}
+
+/// The shared line state (the "medium"): who is transmitting and until
+/// when. Several senders may share one medium (an Ethernet segment); the
+/// lock serializes them exactly as a bus does.
+pub struct Medium {
+    profile: LinkProfile,
+    busy_until: Mutex<Instant>,
+    rng: Mutex<SmallRng>,
+}
+
+impl Medium {
+    /// Creates a medium with the given profile.
+    pub fn new(profile: LinkProfile) -> Arc<Medium> {
+        Arc::new(Medium {
+            profile,
+            busy_until: Mutex::new(Instant::now()),
+            rng: Mutex::new(SmallRng::seed_from_u64(0x9fc0de)),
+        })
+    }
+
+    /// The profile this medium was built with.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Acquires the line for `len` payload bytes and returns the instant
+    /// transmission completes. Blocks the caller for the duration — the
+    /// medium is busy and so is the transmitting "hardware".
+    pub fn transmit(&self, len: usize) -> Instant {
+        let tx = self.profile.tx_time(len);
+        let done = {
+            let mut busy = self.busy_until.lock();
+            let start = (*busy).max(Instant::now());
+            *busy = start + tx;
+            *busy
+        };
+        // Pace the sender. For sub-millisecond waits a sleep is accurate
+        // enough; we re-check because sleep may undershoot.
+        let mut now = Instant::now();
+        while now < done {
+            std::thread::sleep(done - now);
+            now = Instant::now();
+        }
+        done
+    }
+
+    /// Rolls the impairment dice for one frame, possibly mutating it.
+    /// Returns how many copies to deliver (0 = dropped) and an extra
+    /// delay for reordering.
+    pub(crate) fn impair(&self, frame: &mut Vec<u8>) -> (usize, Duration) {
+        let p = &self.profile;
+        if p.loss == 0.0 && p.dup == 0.0 && p.corrupt == 0.0 && p.reorder == 0.0 {
+            return (1, Duration::ZERO);
+        }
+        let mut rng = self.rng.lock();
+        if p.loss > 0.0 && rng.gen_bool(p.loss.min(1.0)) {
+            return (0, Duration::ZERO);
+        }
+        if p.corrupt > 0.0 && rng.gen_bool(p.corrupt.min(1.0)) && !frame.is_empty() {
+            let idx = rng.gen_range(0..frame.len());
+            frame[idx] ^= 0xff;
+        }
+        let copies = if p.dup > 0.0 && rng.gen_bool(p.dup.min(1.0)) {
+            2
+        } else {
+            1
+        };
+        let extra = if p.reorder > 0.0 && rng.gen_bool(p.reorder.min(1.0)) {
+            // Delay long enough to land behind the next frame or two.
+            p.tx_time(p.mtu) * 3 + p.propagation
+        } else {
+            Duration::ZERO
+        };
+        (copies, extra)
+    }
+}
+
+/// The sending half of a wire.
+pub struct WireTx {
+    medium: Arc<Medium>,
+    tx: Sender<InFlight>,
+}
+
+impl WireTx {
+    /// Sends one frame, blocking for the transmission time.
+    ///
+    /// Frames larger than the medium's MTU are refused — fragmentation is
+    /// the business of the protocol layer above.
+    pub fn send(&self, frame: &[u8]) -> crate::Result<()> {
+        if frame.len() > self.medium.profile.mtu {
+            return Err(format!(
+                "frame of {} bytes exceeds {} mtu {}",
+                frame.len(),
+                self.medium.profile.name,
+                self.medium.profile.mtu
+            ));
+        }
+        let done = self.medium.transmit(frame.len());
+        let mut f = frame.to_vec();
+        let (copies, extra) = self.medium.impair(&mut f);
+        let deliver_at = done + self.medium.profile.propagation + extra;
+        for _ in 0..copies {
+            self.tx
+                .send(InFlight {
+                    deliver_at,
+                    frame: f.clone(),
+                })
+                .map_err(|_| "wire: peer gone".to_string())?;
+        }
+        Ok(())
+    }
+
+    /// The medium this wire transmits on.
+    pub fn medium(&self) -> &Arc<Medium> {
+        &self.medium
+    }
+}
+
+/// What a receive attempt produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A frame arrived.
+    Frame(Vec<u8>),
+    /// The sender is gone; no more frames will ever arrive.
+    Hangup,
+    /// The timeout elapsed first.
+    TimedOut,
+}
+
+/// The receiving half of a wire.
+pub struct WireRx {
+    rx: Receiver<InFlight>,
+    /// A frame that arrived while waiting but is not yet due (reordering
+    /// support keeps at most one).
+    held: Option<InFlight>,
+}
+
+impl WireRx {
+    /// Blocks for the next frame; `None` means the sender hung up.
+    pub fn recv(&mut self) -> Option<Vec<u8>> {
+        match self.recv_deadline(None) {
+            RecvOutcome::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Waits for a frame until `timeout` elapses.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
+        self.recv_deadline(Some(Instant::now() + timeout))
+    }
+
+    fn recv_deadline(&mut self, deadline: Option<Instant>) -> RecvOutcome {
+        let inflight = match self.held.take() {
+            Some(f) => f,
+            None => match deadline {
+                None => match self.rx.recv() {
+                    Ok(f) => f,
+                    Err(_) => return RecvOutcome::Hangup,
+                },
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        match self.rx.try_recv() {
+                            Ok(f) => f,
+                            Err(_) => return RecvOutcome::TimedOut,
+                        }
+                    } else {
+                        match self.rx.recv_timeout(d - now) {
+                            Ok(f) => f,
+                            Err(RecvTimeoutError::Timeout) => return RecvOutcome::TimedOut,
+                            Err(RecvTimeoutError::Disconnected) => return RecvOutcome::Hangup,
+                        }
+                    }
+                }
+            },
+        };
+        // Honor the in-flight propagation delay.
+        let now = Instant::now();
+        if inflight.deliver_at > now {
+            if let Some(d) = deadline {
+                if inflight.deliver_at > d {
+                    // Not due before the caller's deadline: hold it.
+                    let wait = d - now;
+                    std::thread::sleep(wait);
+                    self.held = Some(inflight);
+                    return RecvOutcome::TimedOut;
+                }
+            }
+            std::thread::sleep(inflight.deliver_at - now);
+        }
+        RecvOutcome::Frame(inflight.frame)
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&mut self) -> Option<Vec<u8>> {
+        match self.recv_timeout(Duration::ZERO) {
+            RecvOutcome::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Creates a unidirectional wire with its own medium.
+pub fn wire_pair(profile: LinkProfile) -> (WireTx, WireRx) {
+    let medium = Medium::new(profile);
+    wire_on_medium(medium)
+}
+
+/// Creates a unidirectional wire transmitting on an existing medium
+/// (used by shared-bus media).
+pub fn wire_on_medium(medium: Arc<Medium>) -> (WireTx, WireRx) {
+    let (tx, rx) = unbounded();
+    (WireTx { medium, tx }, WireRx { rx, held: None })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{LinkProfile, Profiles};
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let (tx, mut rx) = wire_pair(Profiles::ether_fast());
+        tx.send(b"one").unwrap();
+        tx.send(b"two").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"one");
+        assert_eq!(rx.recv().unwrap(), b"two");
+    }
+
+    #[test]
+    fn hangup_when_sender_dropped() {
+        let (tx, mut rx) = wire_pair(Profiles::ether_fast());
+        tx.send(b"last").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), b"last");
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let (tx, _rx) = wire_pair(Profiles::ether_fast());
+        assert!(tx.send(&vec![0u8; 2000]).is_err());
+    }
+
+    #[test]
+    fn pacing_throttles_throughput() {
+        // 1 Mbit/s: 10 frames of 1250 bytes = 100 ms on the line.
+        let profile = LinkProfile {
+            bandwidth_bps: 1_000_000,
+            ..LinkProfile::fast("slow", 1500)
+        };
+        let (tx, mut rx) = wire_pair(profile);
+        let start = Instant::now();
+        let h = std::thread::spawn(move || {
+            for _ in 0..10 {
+                tx.send(&[0u8; 1250]).unwrap();
+            }
+        });
+        for _ in 0..10 {
+            rx.recv().unwrap();
+        }
+        h.join().unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(95),
+            "paced send finished too fast: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn propagation_delays_delivery() {
+        let profile = LinkProfile {
+            propagation: Duration::from_millis(20),
+            ..LinkProfile::fast("lagged", 1500)
+        };
+        let (tx, mut rx) = wire_pair(profile);
+        let start = Instant::now();
+        tx.send(b"x").unwrap();
+        rx.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn loss_drops_frames() {
+        let (tx, mut rx) = wire_pair(Profiles::ether_fast().with_loss(1.0));
+        tx.send(b"gone").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), RecvOutcome::TimedOut);
+    }
+
+    #[test]
+    fn dup_delivers_twice() {
+        let (tx, mut rx) = wire_pair(Profiles::ether_fast().with_dup(1.0));
+        tx.send(b"twin").unwrap();
+        assert_eq!(rx.recv().unwrap(), b"twin");
+        assert_eq!(rx.recv().unwrap(), b"twin");
+    }
+
+    #[test]
+    fn corrupt_flips_bytes() {
+        let (tx, mut rx) = wire_pair(Profiles::ether_fast().with_corrupt(1.0));
+        tx.send(b"fragile").unwrap();
+        let got = rx.recv().unwrap();
+        assert_eq!(got.len(), 7);
+        assert_ne!(got, b"fragile");
+    }
+
+    #[test]
+    fn timeout_returns_timedout() {
+        let (_tx, mut rx) = wire_pair(Profiles::ether_fast());
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(25)),
+            RecvOutcome::TimedOut
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+}

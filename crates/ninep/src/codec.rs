@@ -1,0 +1,611 @@
+//! Binary encoding and decoding of 9P messages.
+//!
+//! The wire layout follows the 1st-edition convention: a one-byte message
+//! type, a two-byte tag, then fixed-layout fields in little-endian order.
+//! Name fields are fixed-size NUL-padded arrays ([`NAME_LEN`] bytes), so
+//! every message of a given type has a predictable size — the property the
+//! original `convS2M`/`convM2S` routines depended on.
+
+use crate::dir::{decode_name, encode_name, Dir, DIR_LEN};
+use crate::fcall::{
+    MsgType, Rmsg, Tag, Tmsg, CHAL_LEN, DOMAIN_LEN, ERR_LEN, MAX_FDATA, NAME_LEN, TICKET_LEN,
+};
+use crate::qid::Qid;
+use crate::{errstr, NineError, Result};
+
+/// A little-endian byte-writer used by the encoders.
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(typ: MsgType, tag: Tag) -> Enc {
+        let mut buf = Vec::with_capacity(64);
+        buf.push(typ as u8);
+        buf.extend_from_slice(&tag.to_le_bytes());
+        Enc { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn qid(&mut self, q: Qid) {
+        self.u32(q.path);
+        self.u32(q.version);
+    }
+
+    fn name(&mut self, s: &str, width: usize) {
+        let start = self.buf.len();
+        self.buf.resize(start + width, 0);
+        encode_name(&mut self.buf[start..start + width], s);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn fixed(&mut self, b: &[u8], width: usize) {
+        let n = b.len().min(width);
+        self.buf.extend_from_slice(&b[..n]);
+        self.buf.resize(self.buf.len() + (width - n), 0);
+    }
+}
+
+/// A little-endian byte-reader used by the decoders.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(NineError::new(errstr::EBADMSG));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn qid(&mut self) -> Result<Qid> {
+        Ok(Qid {
+            path: self.u32()?,
+            version: self.u32()?,
+        })
+    }
+
+    fn name(&mut self, width: usize) -> Result<String> {
+        decode_name(self.take(width)?)
+    }
+
+    fn chal(&mut self) -> Result<[u8; CHAL_LEN]> {
+        Ok(self.take(CHAL_LEN)?.try_into().unwrap())
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(NineError::new(errstr::EBADMSG))
+        }
+    }
+}
+
+/// Encodes a request message with its tag into wire bytes.
+pub fn encode_tmsg(tag: Tag, m: &Tmsg) -> Vec<u8> {
+    let mut e = Enc::new(m.msg_type(), tag);
+    match m {
+        Tmsg::Nop => {}
+        Tmsg::Osession { chal } | Tmsg::Session { chal } => e.bytes(chal),
+        Tmsg::Flush { old_tag } => e.u16(*old_tag),
+        Tmsg::Attach {
+            fid,
+            uname,
+            aname,
+            ticket,
+        } => {
+            e.u16(*fid);
+            e.name(uname, NAME_LEN);
+            e.name(aname, NAME_LEN);
+            e.fixed(ticket, TICKET_LEN);
+        }
+        Tmsg::Clone { fid, new_fid } => {
+            e.u16(*fid);
+            e.u16(*new_fid);
+        }
+        Tmsg::Walk { fid, name } => {
+            e.u16(*fid);
+            e.name(name, NAME_LEN);
+        }
+        Tmsg::Clwalk { fid, new_fid, name } => {
+            e.u16(*fid);
+            e.u16(*new_fid);
+            e.name(name, NAME_LEN);
+        }
+        Tmsg::Open { fid, mode } => {
+            e.u16(*fid);
+            e.u8(*mode);
+        }
+        Tmsg::Create {
+            fid,
+            name,
+            perm,
+            mode,
+        } => {
+            e.u16(*fid);
+            e.name(name, NAME_LEN);
+            e.u32(*perm);
+            e.u8(*mode);
+        }
+        Tmsg::Read { fid, offset, count } => {
+            e.u16(*fid);
+            e.u64(*offset);
+            e.u16(*count);
+        }
+        Tmsg::Write { fid, offset, data } => {
+            e.u16(*fid);
+            e.u64(*offset);
+            e.u16(data.len() as u16);
+            e.bytes(data);
+        }
+        Tmsg::Clunk { fid } | Tmsg::Remove { fid } | Tmsg::Stat { fid } => e.u16(*fid),
+        Tmsg::Wstat { fid, stat } => {
+            e.u16(*fid);
+            e.bytes(&stat.encode());
+        }
+    }
+    e.buf
+}
+
+/// Encodes a reply message with its tag into wire bytes.
+pub fn encode_rmsg(tag: Tag, m: &Rmsg) -> Vec<u8> {
+    let mut e = Enc::new(m.msg_type(), tag);
+    match m {
+        Rmsg::Nop | Rmsg::Osession | Rmsg::Flush => {}
+        Rmsg::Session {
+            chal,
+            authid,
+            authdom,
+        } => {
+            e.bytes(chal);
+            e.name(authid, NAME_LEN);
+            e.name(authdom, DOMAIN_LEN);
+        }
+        Rmsg::Error { ename } => e.name(ename, ERR_LEN),
+        Rmsg::Attach { fid, qid }
+        | Rmsg::Walk { fid, qid }
+        | Rmsg::Clwalk { fid, qid }
+        | Rmsg::Open { fid, qid }
+        | Rmsg::Create { fid, qid } => {
+            e.u16(*fid);
+            e.qid(*qid);
+        }
+        Rmsg::Clone { fid } | Rmsg::Clunk { fid } | Rmsg::Remove { fid } | Rmsg::Wstat { fid } => {
+            e.u16(*fid)
+        }
+        Rmsg::Read { fid, data } => {
+            e.u16(*fid);
+            e.u16(data.len() as u16);
+            e.bytes(data);
+        }
+        Rmsg::Write { fid, count } => {
+            e.u16(*fid);
+            e.u16(*count);
+        }
+        Rmsg::Stat { fid, stat } => {
+            e.u16(*fid);
+            e.bytes(&stat.encode());
+        }
+    }
+    e.buf
+}
+
+/// Decodes a request message, returning its tag and body.
+pub fn decode_tmsg(buf: &[u8]) -> Result<(Tag, Tmsg)> {
+    let mut d = Dec::new(buf);
+    let typ = MsgType::from_u8(d.u8()?).ok_or_else(|| NineError::new(errstr::EBADMSG))?;
+    let tag = d.u16()?;
+    let m = match typ {
+        MsgType::Tnop => Tmsg::Nop,
+        MsgType::Tosession => Tmsg::Osession { chal: d.chal()? },
+        MsgType::Tsession => Tmsg::Session { chal: d.chal()? },
+        MsgType::Tflush => Tmsg::Flush { old_tag: d.u16()? },
+        MsgType::Tattach => Tmsg::Attach {
+            fid: d.u16()?,
+            uname: d.name(NAME_LEN)?,
+            aname: d.name(NAME_LEN)?,
+            ticket: {
+                let t = d.take(TICKET_LEN)?;
+                let end = t.iter().rposition(|&b| b != 0).map(|i| i + 1).unwrap_or(0);
+                t[..end].to_vec()
+            },
+        },
+        MsgType::Tclone => Tmsg::Clone {
+            fid: d.u16()?,
+            new_fid: d.u16()?,
+        },
+        MsgType::Twalk => Tmsg::Walk {
+            fid: d.u16()?,
+            name: d.name(NAME_LEN)?,
+        },
+        MsgType::Tclwalk => Tmsg::Clwalk {
+            fid: d.u16()?,
+            new_fid: d.u16()?,
+            name: d.name(NAME_LEN)?,
+        },
+        MsgType::Topen => Tmsg::Open {
+            fid: d.u16()?,
+            mode: d.u8()?,
+        },
+        MsgType::Tcreate => Tmsg::Create {
+            fid: d.u16()?,
+            name: d.name(NAME_LEN)?,
+            perm: d.u32()?,
+            mode: d.u8()?,
+        },
+        MsgType::Tread => Tmsg::Read {
+            fid: d.u16()?,
+            offset: d.u64()?,
+            count: d.u16()?,
+        },
+        MsgType::Twrite => {
+            let fid = d.u16()?;
+            let offset = d.u64()?;
+            let count = d.u16()? as usize;
+            if count > MAX_FDATA {
+                return Err(NineError::new(errstr::ETOOBIG));
+            }
+            Tmsg::Write {
+                fid,
+                offset,
+                data: d.take(count)?.to_vec(),
+            }
+        }
+        MsgType::Tclunk => Tmsg::Clunk { fid: d.u16()? },
+        MsgType::Tremove => Tmsg::Remove { fid: d.u16()? },
+        MsgType::Tstat => Tmsg::Stat { fid: d.u16()? },
+        MsgType::Twstat => Tmsg::Wstat {
+            fid: d.u16()?,
+            stat: Dir::decode(d.take(DIR_LEN)?)?,
+        },
+        _ => return Err(NineError::new(errstr::EBADMSG)),
+    };
+    d.done()?;
+    Ok((tag, m))
+}
+
+/// Decodes a reply message, returning its tag and body.
+pub fn decode_rmsg(buf: &[u8]) -> Result<(Tag, Rmsg)> {
+    let mut d = Dec::new(buf);
+    let typ = MsgType::from_u8(d.u8()?).ok_or_else(|| NineError::new(errstr::EBADMSG))?;
+    let tag = d.u16()?;
+    let m = match typ {
+        MsgType::Rnop => Rmsg::Nop,
+        MsgType::Rosession => Rmsg::Osession,
+        MsgType::Rsession => Rmsg::Session {
+            chal: d.chal()?,
+            authid: d.name(NAME_LEN)?,
+            authdom: d.name(DOMAIN_LEN)?,
+        },
+        MsgType::Rerror => Rmsg::Error {
+            ename: d.name(ERR_LEN)?,
+        },
+        MsgType::Rflush => Rmsg::Flush,
+        MsgType::Rattach => Rmsg::Attach {
+            fid: d.u16()?,
+            qid: d.qid()?,
+        },
+        MsgType::Rclone => Rmsg::Clone { fid: d.u16()? },
+        MsgType::Rwalk => Rmsg::Walk {
+            fid: d.u16()?,
+            qid: d.qid()?,
+        },
+        MsgType::Rclwalk => Rmsg::Clwalk {
+            fid: d.u16()?,
+            qid: d.qid()?,
+        },
+        MsgType::Ropen => Rmsg::Open {
+            fid: d.u16()?,
+            qid: d.qid()?,
+        },
+        MsgType::Rcreate => Rmsg::Create {
+            fid: d.u16()?,
+            qid: d.qid()?,
+        },
+        MsgType::Rread => {
+            let fid = d.u16()?;
+            let count = d.u16()? as usize;
+            if count > MAX_FDATA {
+                return Err(NineError::new(errstr::ETOOBIG));
+            }
+            Rmsg::Read {
+                fid,
+                data: d.take(count)?.to_vec(),
+            }
+        }
+        MsgType::Rwrite => Rmsg::Write {
+            fid: d.u16()?,
+            count: d.u16()?,
+        },
+        MsgType::Rclunk => Rmsg::Clunk { fid: d.u16()? },
+        MsgType::Rremove => Rmsg::Remove { fid: d.u16()? },
+        MsgType::Rstat => Rmsg::Stat {
+            fid: d.u16()?,
+            stat: Dir::decode(d.take(DIR_LEN)?)?,
+        },
+        MsgType::Rwstat => Rmsg::Wstat { fid: d.u16()? },
+        _ => return Err(NineError::new(errstr::EBADMSG)),
+    };
+    d.done()?;
+    Ok((tag, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fcall::NOTAG;
+
+    fn t_samples() -> Vec<Tmsg> {
+        vec![
+            Tmsg::Nop,
+            Tmsg::Session { chal: [1; 8] },
+            Tmsg::Flush { old_tag: 77 },
+            Tmsg::Attach {
+                fid: 1,
+                uname: "philw".into(),
+                aname: "".into(),
+                ticket: vec![9, 8, 7],
+            },
+            Tmsg::Clone { fid: 1, new_fid: 2 },
+            Tmsg::Walk {
+                fid: 2,
+                name: "net".into(),
+            },
+            Tmsg::Clwalk {
+                fid: 2,
+                new_fid: 3,
+                name: "tcp".into(),
+            },
+            Tmsg::Open { fid: 3, mode: 2 },
+            Tmsg::Create {
+                fid: 3,
+                name: "x".into(),
+                perm: 0o644,
+                mode: 1,
+            },
+            Tmsg::Read {
+                fid: 3,
+                offset: 1 << 40,
+                count: 8192,
+            },
+            Tmsg::Write {
+                fid: 3,
+                offset: 5,
+                data: b"connect 2048".to_vec(),
+            },
+            Tmsg::Clunk { fid: 3 },
+            Tmsg::Remove { fid: 3 },
+            Tmsg::Stat { fid: 3 },
+            Tmsg::Wstat {
+                fid: 3,
+                stat: Dir::file("f", Qid::file(1, 0), 0o666, "bootes", 0),
+            },
+        ]
+    }
+
+    fn r_samples() -> Vec<Rmsg> {
+        vec![
+            Rmsg::Nop,
+            Rmsg::Session {
+                chal: [2; 8],
+                authid: "bootes".into(),
+                authdom: "research.bell-labs.com".into(),
+            },
+            Rmsg::Error {
+                ename: "file does not exist".into(),
+            },
+            Rmsg::Flush,
+            Rmsg::Attach {
+                fid: 1,
+                qid: Qid::dir(0, 0),
+            },
+            Rmsg::Clone { fid: 2 },
+            Rmsg::Walk {
+                fid: 2,
+                qid: Qid::dir(4, 0),
+            },
+            Rmsg::Clwalk {
+                fid: 3,
+                qid: Qid::file(5, 1),
+            },
+            Rmsg::Open {
+                fid: 3,
+                qid: Qid::file(5, 1),
+            },
+            Rmsg::Create {
+                fid: 3,
+                qid: Qid::file(6, 0),
+            },
+            Rmsg::Read {
+                fid: 3,
+                data: vec![0xAB; 100],
+            },
+            Rmsg::Write { fid: 3, count: 12 },
+            Rmsg::Clunk { fid: 3 },
+            Rmsg::Remove { fid: 3 },
+            Rmsg::Stat {
+                fid: 3,
+                stat: Dir::directory("net", Qid::dir(1, 0), 0o555, "bootes"),
+            },
+            Rmsg::Wstat { fid: 3 },
+        ]
+    }
+
+    #[test]
+    fn tmsg_round_trip() {
+        for (i, m) in t_samples().into_iter().enumerate() {
+            let tag = i as Tag;
+            let buf = encode_tmsg(tag, &m);
+            let (tag2, m2) = decode_tmsg(&buf).unwrap();
+            assert_eq!(tag, tag2);
+            assert_eq!(m, m2, "message {i}");
+        }
+    }
+
+    #[test]
+    fn rmsg_round_trip() {
+        for (i, m) in r_samples().into_iter().enumerate() {
+            let tag = (i as Tag).wrapping_add(100);
+            let buf = encode_rmsg(tag, &m);
+            let (tag2, m2) = decode_rmsg(&buf).unwrap();
+            assert_eq!(tag, tag2);
+            assert_eq!(m, m2, "message {i}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = encode_tmsg(NOTAG, &Tmsg::Nop);
+        buf.push(0);
+        assert!(decode_tmsg(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let buf = encode_tmsg(
+            1,
+            &Tmsg::Walk {
+                fid: 1,
+                name: "x".into(),
+            },
+        );
+        for cut in 0..buf.len() {
+            assert!(decode_tmsg(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversize_write_rejected() {
+        // Hand-craft a Twrite header claiming more data than MAX_FDATA.
+        let mut buf = vec![MsgType::Twrite as u8, 0, 0];
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&(MAX_FDATA as u16 + 1).to_le_bytes());
+        buf.resize(buf.len() + MAX_FDATA + 1, 0);
+        assert!(decode_tmsg(&buf).is_err());
+    }
+
+    fn arb_name() -> impl proptest::strategy::Strategy<Value = String> {
+        // NAME_LEN-bounded, NUL-free names survive the fixed field.
+        "[a-zA-Z0-9._-]{0,27}"
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_tmsg_round_trip(
+            tag in 0u16..0xfffe,
+            fid in 0u16..100,
+            new_fid in 100u16..200,
+            name in arb_name(),
+            offset in proptest::prelude::any::<u64>(),
+            count in 0u16..8192,
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..4096),
+            pick in 0usize..8,
+        ) {
+            let m = match pick {
+                0 => Tmsg::Walk { fid, name: name.clone() },
+                1 => Tmsg::Clwalk { fid, new_fid, name: name.clone() },
+                2 => Tmsg::Read { fid, offset, count },
+                3 => Tmsg::Write { fid, offset, data: data.clone() },
+                4 => Tmsg::Clone { fid, new_fid },
+                5 => Tmsg::Create { fid, name: name.clone(), perm: offset as u32, mode: (count & 0x43) as u8 },
+                6 => Tmsg::Clunk { fid },
+                _ => Tmsg::Attach { fid, uname: name.clone(), aname: String::new(), ticket: data.clone().into_iter().take(72).collect() },
+            };
+            // Trailing-NUL ambiguity: tickets that end in zero bytes are
+            // trimmed by the fixed-width field; skip that corner.
+            if let Tmsg::Attach { ticket, .. } = &m {
+                proptest::prop_assume!(ticket.last() != Some(&0));
+            }
+            let buf = encode_tmsg(tag, &m);
+            let (tag2, m2) = decode_tmsg(&buf).unwrap();
+            proptest::prop_assert_eq!(tag, tag2);
+            proptest::prop_assert_eq!(m, m2);
+        }
+
+        #[test]
+        fn prop_rmsg_round_trip(
+            tag in 0u16..0xfffe,
+            fid in proptest::prelude::any::<u16>(),
+            path in 0u32..0x0fff_ffff,
+            version in proptest::prelude::any::<u32>(),
+            ename in "[ -~]{0,63}",
+            data in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..4096),
+            dir_flag in proptest::prelude::any::<bool>(),
+            pick in 0usize..6,
+        ) {
+            let qid = if dir_flag { Qid::dir(path, version) } else { Qid::file(path, version) };
+            let m = match pick {
+                0 => Rmsg::Walk { fid, qid },
+                1 => Rmsg::Open { fid, qid },
+                2 => Rmsg::Read { fid, data: data.clone() },
+                3 => Rmsg::Error { ename: ename.clone() },
+                4 => Rmsg::Attach { fid, qid },
+                _ => Rmsg::Write { fid, count: data.len() as u16 },
+            };
+            let buf = encode_rmsg(tag, &m);
+            let (tag2, m2) = decode_rmsg(&buf).unwrap();
+            proptest::prop_assert_eq!(tag, tag2);
+            proptest::prop_assert_eq!(m, m2);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_junk(
+            junk in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..600)
+        ) {
+            let _ = decode_tmsg(&junk);
+            let _ = decode_rmsg(&junk);
+        }
+    }
+
+    #[test]
+    fn t_and_r_do_not_cross_decode() {
+        let buf = encode_tmsg(1, &Tmsg::Clunk { fid: 1 });
+        assert!(decode_rmsg(&buf).is_err());
+        let buf = encode_rmsg(1, &Rmsg::Clunk { fid: 1 });
+        assert!(decode_tmsg(&buf).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Directory entries (the `stat` format).
+//!
+//! A 9P `stat`/`wstat` carries a fixed-size machine-independent directory
+//! entry. Reading a directory returns an integral number of these entries.
+//! Fixed size means a directory read can be seeked to any entry boundary,
+//! which Plan 9 relies on.
+
+use crate::fcall::NAME_LEN;
+use crate::qid::{Qid, CHDIR};
+use crate::{errstr, NineError, Result};
+
+/// Size in bytes of an encoded directory entry.
+///
+/// Layout: name[28] uid[28] gid[28] qid[8] mode[4] atime[4] mtime[4]
+/// length[8] type[2] dev[2] = 116 bytes.
+pub const DIR_LEN: usize = 116;
+
+/// A parsed directory entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dir {
+    /// Last path element of the file.
+    pub name: String,
+    /// Owner name.
+    pub uid: String,
+    /// Group name.
+    pub gid: String,
+    /// The file's qid.
+    pub qid: Qid,
+    /// Permissions and flags; the top bit mirrors the qid's CHDIR bit.
+    pub mode: u32,
+    /// Last access time, seconds since the epoch.
+    pub atime: u32,
+    /// Last modification time, seconds since the epoch.
+    pub mtime: u32,
+    /// File length in bytes; directories conventionally report 0.
+    pub length: u64,
+    /// Device type character (e.g. `I` for IP, `t` for tty) as a u16.
+    pub dev_type: u16,
+    /// Device instance.
+    pub dev: u16,
+}
+
+impl Dir {
+    /// Builds an entry for a file served by a device.
+    pub fn file(name: &str, qid: Qid, mode: u32, owner: &str, length: u64) -> Dir {
+        Dir {
+            name: name.to_string(),
+            uid: owner.to_string(),
+            gid: owner.to_string(),
+            qid,
+            mode: mode & !CHDIR,
+            atime: 0,
+            mtime: 0,
+            length,
+            dev_type: 0,
+            dev: 0,
+        }
+    }
+
+    /// Builds an entry for a directory.
+    pub fn directory(name: &str, qid: Qid, mode: u32, owner: &str) -> Dir {
+        Dir {
+            name: name.to_string(),
+            uid: owner.to_string(),
+            gid: owner.to_string(),
+            qid,
+            mode: mode | CHDIR,
+            atime: 0,
+            mtime: 0,
+            length: 0,
+            dev_type: 0,
+            dev: 0,
+        }
+    }
+
+    /// Reports whether the entry names a directory.
+    pub fn is_dir(&self) -> bool {
+        self.mode & CHDIR != 0
+    }
+
+    /// Encodes the entry into its fixed 116-byte wire form.
+    pub fn encode(&self) -> [u8; DIR_LEN] {
+        let mut buf = [0u8; DIR_LEN];
+        put_name(&mut buf[0..NAME_LEN], &self.name);
+        put_name(&mut buf[NAME_LEN..2 * NAME_LEN], &self.uid);
+        put_name(&mut buf[2 * NAME_LEN..3 * NAME_LEN], &self.gid);
+        let mut o = 3 * NAME_LEN;
+        buf[o..o + 4].copy_from_slice(&self.qid.path.to_le_bytes());
+        buf[o + 4..o + 8].copy_from_slice(&self.qid.version.to_le_bytes());
+        o += 8;
+        buf[o..o + 4].copy_from_slice(&self.mode.to_le_bytes());
+        o += 4;
+        buf[o..o + 4].copy_from_slice(&self.atime.to_le_bytes());
+        o += 4;
+        buf[o..o + 4].copy_from_slice(&self.mtime.to_le_bytes());
+        o += 4;
+        buf[o..o + 8].copy_from_slice(&self.length.to_le_bytes());
+        o += 8;
+        buf[o..o + 2].copy_from_slice(&self.dev_type.to_le_bytes());
+        o += 2;
+        buf[o..o + 2].copy_from_slice(&self.dev.to_le_bytes());
+        buf
+    }
+
+    /// Decodes an entry from its wire form.
+    ///
+    /// Fails if the buffer is shorter than [`DIR_LEN`] or a name field is
+    /// not valid UTF-8.
+    pub fn decode(buf: &[u8]) -> Result<Dir> {
+        if buf.len() < DIR_LEN {
+            return Err(NineError::new(errstr::EBADMSG));
+        }
+        let name = get_name(&buf[0..NAME_LEN])?;
+        let uid = get_name(&buf[NAME_LEN..2 * NAME_LEN])?;
+        let gid = get_name(&buf[2 * NAME_LEN..3 * NAME_LEN])?;
+        let mut o = 3 * NAME_LEN;
+        let qid = Qid {
+            path: u32::from_le_bytes(buf[o..o + 4].try_into().unwrap()),
+            version: u32::from_le_bytes(buf[o + 4..o + 8].try_into().unwrap()),
+        };
+        o += 8;
+        let mode = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        o += 4;
+        let atime = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        o += 4;
+        let mtime = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        o += 4;
+        let length = u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        o += 8;
+        let dev_type = u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+        o += 2;
+        let dev = u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+        Ok(Dir {
+            name,
+            uid,
+            gid,
+            qid,
+            mode,
+            atime,
+            mtime,
+            length,
+            dev_type,
+            dev,
+        })
+    }
+
+    /// Formats the entry roughly as `ls -l` does in the paper's listings.
+    pub fn ls_line(&self) -> String {
+        let d = if self.is_dir() { 'd' } else { '-' };
+        let mut perms = String::new();
+        for shift in [6u32, 3, 0] {
+            let bits = (self.mode >> shift) & 7;
+            perms.push(if bits & 4 != 0 { 'r' } else { '-' });
+            perms.push(if bits & 2 != 0 { 'w' } else { '-' });
+            perms.push(if bits & 1 != 0 { 'x' } else { '-' });
+        }
+        let dev = char::from_u32(self.dev_type as u32).unwrap_or('?');
+        format!(
+            "{}{} {} {} {:<8} {:<8} {:>8} {}",
+            d, perms, dev, self.dev, self.uid, self.gid, self.length, self.name
+        )
+    }
+}
+
+/// Writes a NUL-padded fixed-size name field; over-long names truncate.
+pub(crate) fn put_name(dst: &mut [u8], s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(dst.len() - 1);
+    dst[..n].copy_from_slice(&bytes[..n]);
+    for b in dst[n..].iter_mut() {
+        *b = 0;
+    }
+}
+
+/// Reads a NUL-padded fixed-size name field.
+pub(crate) fn get_name(src: &[u8]) -> Result<String> {
+    let end = src.iter().position(|&b| b == 0).unwrap_or(src.len());
+    std::str::from_utf8(&src[..end])
+        .map(|s| s.to_string())
+        .map_err(|_| NineError::new(errstr::EBADMSG))
+}
+
+pub(crate) use get_name as decode_name;
+pub(crate) use put_name as encode_name;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dir {
+        Dir {
+            name: "eia1ctl".into(),
+            uid: "bootes".into(),
+            gid: "bootes".into(),
+            qid: Qid::file(42, 7),
+            mode: 0o666,
+            atime: 1,
+            mtime: 2,
+            length: 3,
+            dev_type: b't' as u16,
+            dev: 0,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample();
+        let buf = d.encode();
+        assert_eq!(buf.len(), DIR_LEN);
+        let d2 = Dir::decode(&buf).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let d = sample();
+        let buf = d.encode();
+        assert!(Dir::decode(&buf[..DIR_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn long_name_truncated_not_panicking() {
+        let mut d = sample();
+        d.name = "x".repeat(100);
+        let d2 = Dir::decode(&d.encode()).unwrap();
+        assert_eq!(d2.name.len(), NAME_LEN - 1);
+    }
+
+    #[test]
+    fn ls_line_shape() {
+        let line = sample().ls_line();
+        assert!(line.starts_with("-rw-rw-rw- t"), "line was: {line}");
+        assert!(line.ends_with("eia1ctl"));
+    }
+
+    #[test]
+    fn directory_has_chdir_in_mode_and_helper_agrees() {
+        let d = Dir::directory("net", Qid::dir(1, 0), 0o555, "bootes");
+        assert!(d.is_dir());
+        let d2 = Dir::decode(&d.encode()).unwrap();
+        assert!(d2.is_dir());
+    }
+}

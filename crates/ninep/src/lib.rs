@@ -1,0 +1,120 @@
+//! The Plan 9 file system protocol, 9P, as described in *The Organization of
+//! Networks in Plan 9* (Presotto & Winterbottom, USENIX 1993) and the Plan 9
+//! 1st edition manual.
+//!
+//! The protocol consists of **17 messages** describing operations on files
+//! and directories: `nop`, `osession`, `session`, `error`, `flush`,
+//! `attach`, `clone`, `walk`, `clwalk`, `open`, `create`, `read`, `write`,
+//! `clunk`, `remove`, `stat` and `wstat`. Each has a `T` (request) and `R`
+//! (reply) form except `error`, which is reply-only.
+//!
+//! 9P relies on several properties of the underlying transport: messages
+//! arrive reliably, in sequence, and with delimiters preserved. When a
+//! transport does not meet the delimiter requirement (for example, TCP),
+//! the [`marshal`] module provides the mechanism the paper alludes to for
+//! marshaling messages before handing them to the system.
+//!
+//! Module map:
+//! * [`fcall`] — the message enums and wire constants.
+//! * [`codec`] — binary encode/decode of messages.
+//! * [`dir`] — the fixed-size directory (stat) entry.
+//! * [`qid`] — unique file identifiers.
+//! * [`marshal`] — delimiter reconstruction over byte streams.
+//! * [`transport`] — message-oriented transport traits.
+//! * [`client`] — a tag-multiplexed concurrent RPC client.
+//! * [`server`] — the serve loop, dispatching to a handler.
+//! * [`procfs`] — the *procedural* form of 9P used by kernel-resident
+//!   device drivers (the paper, §2.1).
+
+pub mod client;
+pub mod codec;
+pub mod dir;
+pub mod fcall;
+pub mod marshal;
+pub mod procfs;
+pub mod qid;
+pub mod server;
+pub mod transport;
+
+pub use client::NineClient;
+pub use dir::Dir;
+pub use fcall::{Fid, Rmsg, Tag, Tmsg, MAX_FDATA, MAX_MSG, NAME_LEN};
+pub use procfs::{OpenMode, Perm, ProcFs, ServeNode};
+pub use qid::Qid;
+
+/// An error produced by the protocol layer.
+///
+/// 9P carries errors as strings (`Rerror` has a single `ename` field), so
+/// the Rust error type is string-based too; this keeps remote and local
+/// errors uniform, exactly as Plan 9 does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NineError(pub String);
+
+impl NineError {
+    /// Creates an error from anything stringly.
+    pub fn new(msg: impl Into<String>) -> Self {
+        NineError(msg.into())
+    }
+}
+
+impl std::fmt::Display for NineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for NineError {}
+
+impl From<&str> for NineError {
+    fn from(s: &str) -> Self {
+        NineError(s.to_string())
+    }
+}
+
+impl From<String> for NineError {
+    fn from(s: String) -> Self {
+        NineError(s)
+    }
+}
+
+/// Result alias used throughout the protocol crates.
+pub type Result<T> = std::result::Result<T, NineError>;
+
+/// Well-known Plan 9 error strings, used by devices and servers so that
+/// tests can match on exact text, as Plan 9 programs do.
+pub mod errstr {
+    /// The requested file does not exist.
+    pub const ENOTEXIST: &str = "file does not exist";
+    /// Permission denied.
+    pub const EPERM: &str = "permission denied";
+    /// A fid was used that the server does not know.
+    pub const EUNKNOWNFID: &str = "unknown fid";
+    /// A fid was reused while still in use.
+    pub const EFIDINUSE: &str = "fid in use";
+    /// Walk in a non-directory.
+    pub const ENOTDIR: &str = "not a directory";
+    /// I/O on a fid that is not open.
+    pub const ENOTOPEN: &str = "file not open";
+    /// Open/create of an already-open fid.
+    pub const EISOPEN: &str = "file already open for I/O";
+    /// Create of an existing name.
+    pub const EEXIST: &str = "file already exists";
+    /// Write or truncate on a directory.
+    pub const EISDIR: &str = "file is a directory";
+    /// Message malformed at the codec layer.
+    pub const EBADMSG: &str = "malformed 9P message";
+    /// Read/write count too large.
+    pub const ETOOBIG: &str = "count too large";
+    /// Operation interrupted by flush.
+    pub const EFLUSHED: &str = "interrupted";
+    /// Connection shut down.
+    pub const EHUNGUP: &str = "hungup channel";
+    /// Bad open/create mode.
+    pub const EBADMODE: &str = "bad open mode";
+    /// Bad attach specifier.
+    pub const EBADATTACH: &str = "unknown attach specifier";
+    /// Obsolete message type (Tosession).
+    pub const EOBSOLETE: &str = "obsolete message";
+    /// Device/operation mismatch.
+    pub const EBADUSE: &str = "inappropriate use of fid";
+}

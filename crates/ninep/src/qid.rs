@@ -1,0 +1,100 @@
+//! Qids: the server's unique identification of a file.
+//!
+//! In 1st-edition 9P a qid is eight bytes: a 32-bit `path` and a 32-bit
+//! `version`. Directories are distinguished by the `CHDIR` bit set in
+//! the path (and in the file mode).
+
+/// The directory bit, set in both `Qid::path` and `Dir::mode`.
+pub const CHDIR: u32 = 0x8000_0000;
+
+/// An append-only file (kept for mode compatibility; unused by qids).
+pub const CHAPPEND: u32 = 0x4000_0000;
+
+/// An exclusive-use file.
+pub const CHEXCL: u32 = 0x2000_0000;
+
+/// The server's unique identification of a file.
+///
+/// Two files on the same server are the same file if and only if their
+/// qids are equal. The `version` field changes each time the file is
+/// modified, so clients can cheaply detect staleness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Qid {
+    /// Unique path number; the top bit ([`CHDIR`]) marks directories.
+    pub path: u32,
+    /// Modification version of the file.
+    pub version: u32,
+}
+
+impl Qid {
+    /// Creates a qid for a plain file.
+    pub fn file(path: u32, version: u32) -> Self {
+        Qid {
+            path: path & !CHDIR,
+            version,
+        }
+    }
+
+    /// Creates a qid for a directory (sets the [`CHDIR`] bit).
+    pub fn dir(path: u32, version: u32) -> Self {
+        Qid {
+            path: path | CHDIR,
+            version,
+        }
+    }
+
+    /// Reports whether this qid names a directory.
+    pub fn is_dir(&self) -> bool {
+        self.path & CHDIR != 0
+    }
+
+    /// The path with the type bits masked off.
+    pub fn path_bits(&self) -> u32 {
+        self.path & !(CHDIR | CHAPPEND | CHEXCL)
+    }
+}
+
+impl std::fmt::Display for Qid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({:#010x} {} {})",
+            self.path_bits(),
+            self.version,
+            if self.is_dir() { "d" } else { "-" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_bit_set_and_detected() {
+        let q = Qid::dir(7, 0);
+        assert!(q.is_dir());
+        assert_eq!(q.path_bits(), 7);
+    }
+
+    #[test]
+    fn file_bit_clear() {
+        let q = Qid::file(CHDIR | 9, 3);
+        assert!(!q.is_dir());
+        assert_eq!(q.path_bits(), 9);
+        assert_eq!(q.version, 3);
+    }
+
+    #[test]
+    fn equality_is_path_and_version() {
+        assert_eq!(Qid::file(1, 2), Qid::file(1, 2));
+        assert_ne!(Qid::file(1, 2), Qid::file(1, 3));
+        assert_ne!(Qid::file(1, 2), Qid::dir(1, 2));
+    }
+
+    #[test]
+    fn display_marks_directories() {
+        assert!(Qid::dir(1, 0).to_string().ends_with("d)"));
+        assert!(Qid::file(1, 0).to_string().ends_with("-)"));
+    }
+}

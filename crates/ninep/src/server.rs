@@ -1,0 +1,552 @@
+//! The RPC side of a 9P file server.
+//!
+//! [`serve`] reads T-messages from a transport, applies them to a
+//! [`ProcFs`], and writes R-messages back. This is the glue that lets a
+//! kernel-resident device (procedural 9P) be exported to a remote machine
+//! (RPC 9P) — the reverse of the mount driver.
+//!
+//! The server is multithreaded, as the paper requires of `exportfs`
+//! (§6.1): `open`, `read` and `write` may block (a `listen` file blocks
+//! until a call arrives), so each request runs in its own worker thread
+//! and replies are serialized onto the transport by a lock.
+
+use crate::codec::{decode_tmsg, encode_rmsg};
+use crate::fcall::{Fid, Rmsg, Tag, Tmsg, CHAL_LEN, MAX_FDATA};
+use crate::procfs::{OpenMode, ProcFs, ServeNode};
+use crate::transport::{MsgSink, MsgSource};
+use crate::{errstr, NineError, Result};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Identity the server reports in `Rsession`.
+#[derive(Debug, Clone)]
+pub struct ServerIdentity {
+    /// Authentication id (a user name).
+    pub authid: String,
+    /// Authentication domain.
+    pub authdom: String,
+}
+
+impl Default for ServerIdentity {
+    fn default() -> Self {
+        ServerIdentity {
+            authid: "bootes".to_string(),
+            authdom: "plan9.sim".to_string(),
+        }
+    }
+}
+
+struct FidState {
+    node: ServeNode,
+    open: bool,
+}
+
+struct ServerShared {
+    fs: Arc<dyn ProcFs>,
+    fids: Mutex<HashMap<Fid, FidState>>,
+    /// Tags flushed while their worker was still running; the worker's
+    /// reply is suppressed when it eventually completes.
+    flushed: Mutex<HashSet<Tag>>,
+    sink: Mutex<Box<dyn MsgSink>>,
+    identity: ServerIdentity,
+}
+
+impl ServerShared {
+    fn reply(&self, tag: Tag, r: &Rmsg) {
+        // Drop the reply if the request was flushed (§ Tflush semantics).
+        if self.flushed.lock().remove(&tag) {
+            return;
+        }
+        let buf = encode_rmsg(tag, r);
+        let _ = self.sink.lock().sendmsg(&buf);
+    }
+}
+
+/// Serves `fs` over the given transport until the peer hangs up.
+///
+/// Blocks the calling thread; most callers run it in a dedicated thread.
+pub fn serve(
+    fs: Arc<dyn ProcFs>,
+    mut source: Box<dyn MsgSource>,
+    sink: Box<dyn MsgSink>,
+) -> Result<()> {
+    serve_with_identity(fs, &mut *source, sink, ServerIdentity::default())
+}
+
+/// Serves `fs`, reporting `identity` in `Rsession` replies.
+pub fn serve_with_identity(
+    fs: Arc<dyn ProcFs>,
+    source: &mut dyn MsgSource,
+    sink: Box<dyn MsgSink>,
+    identity: ServerIdentity,
+) -> Result<()> {
+    let shared = Arc::new(ServerShared {
+        fs,
+        fids: Mutex::new(HashMap::new()),
+        flushed: Mutex::new(HashSet::new()),
+        sink: Mutex::new(sink),
+        identity,
+    });
+    let mut workers = Vec::new();
+    loop {
+        let raw = match source.recvmsg() {
+            Ok(Some(raw)) => raw,
+            Ok(None) => break,
+            Err(e) => {
+                cleanup(&shared);
+                return Err(e);
+            }
+        };
+        let (tag, t) = match decode_tmsg(&raw) {
+            Ok(x) => x,
+            Err(_) => {
+                // A malformed message poisons the link; hang up, as the
+                // kernel does.
+                cleanup(&shared);
+                return Err(NineError::new(errstr::EBADMSG));
+            }
+        };
+        match t {
+            // Cheap control messages are handled inline.
+            Tmsg::Nop => shared.reply(tag, &Rmsg::Nop),
+            Tmsg::Osession { .. } => shared.reply(
+                tag,
+                &Rmsg::Error {
+                    ename: errstr::EOBSOLETE.to_string(),
+                },
+            ),
+            Tmsg::Session { .. } => {
+                // A session resets the fid space.
+                let old: Vec<FidState> = {
+                    let mut fids = shared.fids.lock();
+                    fids.drain().map(|(_, s)| s).collect()
+                };
+                for s in old {
+                    shared.fs.clunk(&s.node);
+                }
+                shared.reply(
+                    tag,
+                    &Rmsg::Session {
+                        chal: [0u8; CHAL_LEN],
+                        authid: shared.identity.authid.clone(),
+                        authdom: shared.identity.authdom.clone(),
+                    },
+                );
+            }
+            Tmsg::Flush { old_tag } => {
+                shared.flushed.lock().insert(old_tag);
+                shared.reply(tag, &Rmsg::Flush);
+            }
+            other => {
+                // Potentially-blocking file operations get a worker each.
+                let shared = Arc::clone(&shared);
+                workers.push(std::thread::spawn(move || {
+                    let r = handle(&shared, &other)
+                        .unwrap_or_else(|e| Rmsg::Error { ename: e.0 });
+                    shared.reply(tag, &r);
+                }));
+                workers.retain(|w| !w.is_finished());
+            }
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    cleanup(&shared);
+    Ok(())
+}
+
+fn cleanup(shared: &Arc<ServerShared>) {
+    let old: Vec<FidState> = {
+        let mut fids = shared.fids.lock();
+        fids.drain().map(|(_, s)| s).collect()
+    };
+    for s in old {
+        shared.fs.clunk(&s.node);
+    }
+}
+
+fn get_node(shared: &ServerShared, fid: Fid) -> Result<ServeNode> {
+    let fids = shared.fids.lock();
+    fids.get(&fid)
+        .map(|s| s.node)
+        .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))
+}
+
+fn get_open_node(shared: &ServerShared, fid: Fid) -> Result<ServeNode> {
+    let fids = shared.fids.lock();
+    match fids.get(&fid) {
+        Some(s) if s.open => Ok(s.node),
+        Some(_) => Err(NineError::new(errstr::ENOTOPEN)),
+        None => Err(NineError::new(errstr::EUNKNOWNFID)),
+    }
+}
+
+fn handle(shared: &ServerShared, t: &Tmsg) -> Result<Rmsg> {
+    let fs = &shared.fs;
+    match t {
+        Tmsg::Attach {
+            fid, uname, aname, ..
+        } => {
+            {
+                let fids = shared.fids.lock();
+                if fids.contains_key(fid) {
+                    return Err(NineError::new(errstr::EFIDINUSE));
+                }
+            }
+            let node = fs.attach(uname, aname)?;
+            let qid = node.qid;
+            shared
+                .fids
+                .lock()
+                .insert(*fid, FidState { node, open: false });
+            Ok(Rmsg::Attach { fid: *fid, qid })
+        }
+        Tmsg::Clone { fid, new_fid } => {
+            let node = get_node(shared, *fid)?;
+            {
+                let fids = shared.fids.lock();
+                if fids.contains_key(new_fid) {
+                    return Err(NineError::new(errstr::EFIDINUSE));
+                }
+            }
+            let node = fs.clone_node(&node)?;
+            shared
+                .fids
+                .lock()
+                .insert(*new_fid, FidState { node, open: false });
+            Ok(Rmsg::Clone { fid: *fid })
+        }
+        Tmsg::Walk { fid, name } => {
+            let node = get_node(shared, *fid)?;
+            let next = fs.walk(&node, name)?;
+            let qid = next.qid;
+            if let Some(s) = shared.fids.lock().get_mut(fid) {
+                s.node = next;
+            }
+            Ok(Rmsg::Walk { fid: *fid, qid })
+        }
+        Tmsg::Clwalk { fid, new_fid, name } => {
+            let node = get_node(shared, *fid)?;
+            {
+                let fids = shared.fids.lock();
+                if fids.contains_key(new_fid) {
+                    return Err(NineError::new(errstr::EFIDINUSE));
+                }
+            }
+            let cloned = fs.clone_node(&node)?;
+            match fs.walk(&cloned, name) {
+                Ok(next) => {
+                    let qid = next.qid;
+                    if next.handle != cloned.handle {
+                        fs.clunk(&cloned);
+                    }
+                    shared.fids.lock().insert(
+                        *new_fid,
+                        FidState {
+                            node: next,
+                            open: false,
+                        },
+                    );
+                    Ok(Rmsg::Clwalk { fid: *fid, qid })
+                }
+                Err(e) => {
+                    // On failure the new fid is not allocated.
+                    fs.clunk(&cloned);
+                    Err(e)
+                }
+            }
+        }
+        Tmsg::Open { fid, mode } => {
+            let node = {
+                let fids = shared.fids.lock();
+                match fids.get(fid) {
+                    Some(s) if s.open => return Err(NineError::new(errstr::EISOPEN)),
+                    Some(s) => s.node,
+                    None => return Err(NineError::new(errstr::EUNKNOWNFID)),
+                }
+            };
+            let opened = fs.open(&node, OpenMode(*mode))?;
+            let qid = opened.qid;
+            if let Some(s) = shared.fids.lock().get_mut(fid) {
+                s.node = opened;
+                s.open = true;
+            }
+            Ok(Rmsg::Open { fid: *fid, qid })
+        }
+        Tmsg::Create {
+            fid,
+            name,
+            perm,
+            mode,
+        } => {
+            let node = get_node(shared, *fid)?;
+            let created = fs.create(&node, name, *perm, OpenMode(*mode))?;
+            let qid = created.qid;
+            if created.handle != node.handle {
+                fs.clunk(&node);
+            }
+            if let Some(s) = shared.fids.lock().get_mut(fid) {
+                s.node = created;
+                s.open = true;
+            }
+            Ok(Rmsg::Create { fid: *fid, qid })
+        }
+        Tmsg::Read { fid, offset, count } => {
+            let node = get_open_node(shared, *fid)?;
+            let count = (*count as usize).min(MAX_FDATA);
+            let data = fs.read(&node, *offset, count)?;
+            Ok(Rmsg::Read { fid: *fid, data })
+        }
+        Tmsg::Write { fid, offset, data } => {
+            let node = get_open_node(shared, *fid)?;
+            let n = fs.write(&node, *offset, data)?;
+            Ok(Rmsg::Write {
+                fid: *fid,
+                count: n as u16,
+            })
+        }
+        Tmsg::Clunk { fid } => {
+            let state = shared
+                .fids
+                .lock()
+                .remove(fid)
+                .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))?;
+            fs.clunk(&state.node);
+            Ok(Rmsg::Clunk { fid: *fid })
+        }
+        Tmsg::Remove { fid } => {
+            let state = shared
+                .fids
+                .lock()
+                .remove(fid)
+                .ok_or_else(|| NineError::new(errstr::EUNKNOWNFID))?;
+            // Remove always clunks, even on failure.
+            let res = fs.remove(&state.node);
+            res?;
+            Ok(Rmsg::Remove { fid: *fid })
+        }
+        Tmsg::Stat { fid } => {
+            let node = get_node(shared, *fid)?;
+            let stat = fs.stat(&node)?;
+            Ok(Rmsg::Stat { fid: *fid, stat })
+        }
+        Tmsg::Wstat { fid, stat } => {
+            let node = get_node(shared, *fid)?;
+            fs.wstat(&node, stat)?;
+            Ok(Rmsg::Wstat { fid: *fid })
+        }
+        // Inline-handled messages never reach here.
+        Tmsg::Nop | Tmsg::Osession { .. } | Tmsg::Session { .. } | Tmsg::Flush { .. } => {
+            Err(NineError::new(errstr::EBADMSG))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_tmsg;
+    use crate::procfs::MemFs;
+    use crate::transport::MsgPipeEnd;
+
+    fn start_server(fs: Arc<dyn ProcFs>) -> MsgPipeEnd {
+        let (client_end, server_end) = MsgPipeEnd::pair();
+        let (ssink, ssource) = server_end.split();
+        std::thread::spawn(move || {
+            let _ = serve(fs, Box::new(ssource), Box::new(ssink));
+        });
+        client_end
+    }
+
+    fn rpc(end: &mut MsgPipeEnd, tag: Tag, t: &Tmsg) -> Rmsg {
+        end.sendmsg(&encode_tmsg(tag, t)).unwrap();
+        let raw = end.recvmsg().unwrap().unwrap();
+        let (rtag, r) = crate::codec::decode_rmsg(&raw).unwrap();
+        assert_eq!(rtag, tag);
+        r
+    }
+
+    #[test]
+    fn attach_walk_read() {
+        let fs = MemFs::new("ram", "bootes");
+        fs.put_file("/greet", b"hello").unwrap();
+        let mut c = start_server(fs);
+        let r = rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        assert!(matches!(r, Rmsg::Attach { .. }), "got {r:?}");
+        let r = rpc(
+            &mut c,
+            2,
+            &Tmsg::Walk {
+                fid: 0,
+                name: "greet".into(),
+            },
+        );
+        assert!(matches!(r, Rmsg::Walk { .. }), "got {r:?}");
+        let r = rpc(&mut c, 3, &Tmsg::Open { fid: 0, mode: 0 });
+        assert!(matches!(r, Rmsg::Open { .. }), "got {r:?}");
+        let r = rpc(
+            &mut c,
+            4,
+            &Tmsg::Read {
+                fid: 0,
+                offset: 0,
+                count: 100,
+            },
+        );
+        match r {
+            Rmsg::Read { data, .. } => assert_eq!(data, b"hello"),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_strings() {
+        let fs = MemFs::new("ram", "bootes");
+        let mut c = start_server(fs);
+        rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        let r = rpc(
+            &mut c,
+            2,
+            &Tmsg::Walk {
+                fid: 0,
+                name: "nope".into(),
+            },
+        );
+        match r {
+            Rmsg::Error { ename } => assert_eq!(ename, errstr::ENOTEXIST),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_requires_open() {
+        let fs = MemFs::new("ram", "bootes");
+        fs.put_file("/f", b"x").unwrap();
+        let mut c = start_server(fs);
+        rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        rpc(
+            &mut c,
+            2,
+            &Tmsg::Walk {
+                fid: 0,
+                name: "f".into(),
+            },
+        );
+        let r = rpc(
+            &mut c,
+            3,
+            &Tmsg::Read {
+                fid: 0,
+                offset: 0,
+                count: 1,
+            },
+        );
+        assert!(matches!(r, Rmsg::Error { .. }));
+    }
+
+    #[test]
+    fn clwalk_failure_leaves_newfid_unallocated() {
+        let fs = MemFs::new("ram", "bootes");
+        let mut c = start_server(fs);
+        rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        let r = rpc(
+            &mut c,
+            2,
+            &Tmsg::Clwalk {
+                fid: 0,
+                new_fid: 1,
+                name: "missing".into(),
+            },
+        );
+        assert!(matches!(r, Rmsg::Error { .. }));
+        // new_fid must now be free for reuse.
+        let r = rpc(&mut c, 3, &Tmsg::Clone { fid: 0, new_fid: 1 });
+        assert!(matches!(r, Rmsg::Clone { .. }), "got {r:?}");
+    }
+
+    #[test]
+    fn fid_in_use_rejected() {
+        let fs = MemFs::new("ram", "bootes");
+        let mut c = start_server(fs);
+        rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        let r = rpc(
+            &mut c,
+            2,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        assert!(matches!(r, Rmsg::Error { .. }));
+    }
+
+    #[test]
+    fn session_resets_fids() {
+        let fs = MemFs::new("ram", "bootes");
+        let mut c = start_server(fs);
+        rpc(
+            &mut c,
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        let r = rpc(&mut c, 2, &Tmsg::Session { chal: [0; 8] });
+        assert!(matches!(r, Rmsg::Session { .. }));
+        // Fid 0 is gone after session.
+        let r = rpc(&mut c, 3, &Tmsg::Clunk { fid: 0 });
+        assert!(matches!(r, Rmsg::Error { .. }));
+    }
+}

@@ -1,0 +1,118 @@
+//! Blocks: the unit of information in a stream.
+//!
+//! "Information is represented by linked lists of kernel structures
+//! called blocks. Each block contains a type, some state flags, and
+//! pointers to an optional buffer. Block buffers can hold either data or
+//! control information, i.e., directives to the processing modules."
+
+/// The type of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Ordinary data moving along the stream.
+    Data,
+    /// A control directive; the buffer holds an ASCII command. Commands
+    /// are ASCII strings "so byte ordering is not an issue when one
+    /// system controls streams in a name space implemented on another
+    /// processor".
+    Control,
+    /// A hangup indication sent up the stream from the device end.
+    Hangup,
+}
+
+/// A block moving through a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Data or control.
+    pub kind: BlockKind,
+    /// True on the last block of a write: downstream modules that care
+    /// about write boundaries look for this flag.
+    pub delim: bool,
+    /// The buffer.
+    pub data: Vec<u8>,
+}
+
+impl Block {
+    /// A data block without a delimiter.
+    pub fn data(bytes: impl Into<Vec<u8>>) -> Block {
+        Block {
+            kind: BlockKind::Data,
+            delim: false,
+            data: bytes.into(),
+        }
+    }
+
+    /// A data block carrying the end-of-write delimiter.
+    pub fn delim(bytes: impl Into<Vec<u8>>) -> Block {
+        Block {
+            kind: BlockKind::Data,
+            delim: true,
+            data: bytes.into(),
+        }
+    }
+
+    /// A control block holding an ASCII command.
+    pub fn control(cmd: &str) -> Block {
+        Block {
+            kind: BlockKind::Control,
+            delim: true,
+            data: cmd.as_bytes().to_vec(),
+        }
+    }
+
+    /// A hangup block.
+    pub fn hangup() -> Block {
+        Block {
+            kind: BlockKind::Hangup,
+            delim: true,
+            data: Vec::new(),
+        }
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Interprets a control block's buffer as a command string.
+    ///
+    /// Returns the command split into whitespace-separated fields, the way
+    /// processing modules parse directives.
+    pub fn ctl_fields(&self) -> Vec<String> {
+        String::from_utf8_lossy(&self.data)
+            .split_whitespace()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_delim() {
+        assert_eq!(Block::data(vec![1]).kind, BlockKind::Data);
+        assert!(!Block::data(vec![1]).delim);
+        assert!(Block::delim(vec![1]).delim);
+        assert_eq!(Block::control("push urp").kind, BlockKind::Control);
+        assert_eq!(Block::hangup().kind, BlockKind::Hangup);
+    }
+
+    #[test]
+    fn ctl_fields_splits_command() {
+        let b = Block::control("connect 2048  now");
+        assert_eq!(b.ctl_fields(), vec!["connect", "2048", "now"]);
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::data(Vec::new());
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

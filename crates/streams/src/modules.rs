@@ -1,0 +1,324 @@
+//! A small library of reusable processing modules.
+//!
+//! The kernel compiled in a table of modules that could be `push`ed onto
+//! any stream. These are the equivalents used by this reproduction's
+//! devices and tests.
+
+use crate::block::{Block, BlockKind};
+use crate::module::{ModuleCtx, StreamModule};
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A snooping module: counts and optionally copies traffic in both
+/// directions without altering it — the "diagnostic interfaces for
+/// snooping software" of the LANCE driver (§2.2).
+pub struct Snoop {
+    /// Blocks seen moving downstream.
+    pub down_blocks: AtomicU64,
+    /// Bytes seen moving downstream.
+    pub down_bytes: AtomicU64,
+    /// Blocks seen moving upstream.
+    pub up_blocks: AtomicU64,
+    /// Bytes seen moving upstream.
+    pub up_bytes: AtomicU64,
+    /// When set, a copy of every data block is delivered here.
+    tap: Mutex<Option<Box<dyn Fn(Block) + Send + Sync>>>,
+}
+
+impl Snoop {
+    /// Creates a counting snoop with no tap.
+    pub fn new() -> Arc<Snoop> {
+        Arc::new(Snoop {
+            down_blocks: AtomicU64::new(0),
+            down_bytes: AtomicU64::new(0),
+            up_blocks: AtomicU64::new(0),
+            up_bytes: AtomicU64::new(0),
+            tap: Mutex::new(None),
+        })
+    }
+
+    /// Installs a tap receiving a copy of every data block.
+    pub fn set_tap<F>(&self, f: F)
+    where
+        F: Fn(Block) + Send + Sync + 'static,
+    {
+        *self.tap.lock() = Some(Box::new(f));
+    }
+
+    fn observe(&self, b: &Block, up: bool) {
+        if b.kind != BlockKind::Data {
+            return;
+        }
+        if up {
+            self.up_blocks.fetch_add(1, Ordering::Relaxed);
+            self.up_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+        } else {
+            self.down_blocks.fetch_add(1, Ordering::Relaxed);
+            self.down_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+        }
+        if let Some(tap) = &*self.tap.lock() {
+            tap(b.clone());
+        }
+    }
+
+    /// Renders the counters as an ASCII stats report.
+    pub fn stats(&self) -> String {
+        format!(
+            "in: blocks {} bytes {}\nout: blocks {} bytes {}\n",
+            self.up_blocks.load(Ordering::Relaxed),
+            self.up_bytes.load(Ordering::Relaxed),
+            self.down_blocks.load(Ordering::Relaxed),
+            self.down_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl StreamModule for Snoop {
+    fn name(&self) -> &str {
+        "snoop"
+    }
+
+    fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        self.observe(&b, false);
+        ctx.send_down(b)
+    }
+
+    fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        self.observe(&b, true);
+        ctx.send_up(b)
+    }
+}
+
+/// A delimiter-reconstruction module.
+///
+/// Pushed on top of a byte-stream transport it restores message
+/// boundaries with a 4-byte length prefix: downstream writes gain the
+/// prefix, upstream bytes are reassembled into delimited blocks. This is
+/// the stream-level face of the marshaling the paper requires for 9P over
+/// TCP.
+pub struct DelimMod {
+    reassembly: Mutex<Vec<u8>>,
+}
+
+impl DelimMod {
+    /// Creates the module with an empty reassembly buffer.
+    pub fn new() -> Arc<DelimMod> {
+        Arc::new(DelimMod {
+            reassembly: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl Default for DelimMod {
+    fn default() -> Self {
+        DelimMod {
+            reassembly: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl StreamModule for DelimMod {
+    fn name(&self) -> &str {
+        "delim"
+    }
+
+    fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        if b.kind != BlockKind::Data {
+            return ctx.send_down(b);
+        }
+        let mut framed = Vec::with_capacity(4 + b.len());
+        framed.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&b.data);
+        ctx.send_down(Block {
+            kind: BlockKind::Data,
+            delim: b.delim,
+            data: framed,
+        })
+    }
+
+    fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        if b.kind != BlockKind::Data {
+            return ctx.send_up(b);
+        }
+        let mut buf = self.reassembly.lock();
+        buf.extend_from_slice(&b.data);
+        loop {
+            if buf.len() < 4 {
+                return Ok(());
+            }
+            let need = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            if buf.len() < 4 + need {
+                return Ok(());
+            }
+            let msg: Vec<u8> = buf[4..4 + need].to_vec();
+            buf.drain(..4 + need);
+            ctx.send_up(Block::delim(msg))?;
+        }
+    }
+}
+
+/// A byte-stuffing module that escapes a flag byte, as serial-line
+/// protocols do; used by the UART framing tests.
+pub struct ByteStuff {
+    /// The flag byte that terminates a frame.
+    pub flag: u8,
+    /// The escape byte.
+    pub esc: u8,
+    partial: Mutex<(Vec<u8>, bool)>,
+}
+
+impl ByteStuff {
+    /// Creates a stuffer with the conventional 0x7e/0x7d pair.
+    pub fn new() -> Arc<ByteStuff> {
+        Arc::new(ByteStuff {
+            flag: 0x7e,
+            esc: 0x7d,
+            partial: Mutex::new((Vec::new(), false)),
+        })
+    }
+}
+
+impl StreamModule for ByteStuff {
+    fn name(&self) -> &str {
+        "bytestuff"
+    }
+
+    fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        if b.kind != BlockKind::Data {
+            return ctx.send_down(b);
+        }
+        let mut out = Vec::with_capacity(b.len() + 2);
+        for &byte in &b.data {
+            if byte == self.flag || byte == self.esc {
+                out.push(self.esc);
+                out.push(byte ^ 0x20);
+            } else {
+                out.push(byte);
+            }
+        }
+        out.push(self.flag);
+        ctx.send_down(Block {
+            kind: BlockKind::Data,
+            delim: b.delim,
+            data: out,
+        })
+    }
+
+    fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        if b.kind != BlockKind::Data {
+            return ctx.send_up(b);
+        }
+        let mut state = self.partial.lock();
+        for &byte in &b.data {
+            if state.1 {
+                state.0.push(byte ^ 0x20);
+                state.1 = false;
+            } else if byte == self.esc {
+                state.1 = true;
+            } else if byte == self.flag {
+                let msg = std::mem::take(&mut state.0);
+                ctx.send_up(Block::delim(msg))?;
+            } else {
+                state.0.push(byte);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Stream;
+
+    struct Loopback;
+
+    impl StreamModule for Loopback {
+        fn name(&self) -> &str {
+            "loop"
+        }
+        fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+            if b.kind == BlockKind::Data {
+                ctx.send_up(b)
+            } else {
+                Ok(())
+            }
+        }
+        fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+            ctx.send_up(b)
+        }
+    }
+
+    /// A loopback that merges all data into undelimited single-byte
+    /// blocks, destroying boundaries like a TCP link would.
+    struct ByteLoop;
+
+    impl StreamModule for ByteLoop {
+        fn name(&self) -> &str {
+            "byteloop"
+        }
+        fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+            if b.kind != BlockKind::Data {
+                return Ok(());
+            }
+            for &byte in &b.data {
+                ctx.send_up(Block::data(vec![byte]))?;
+            }
+            Ok(())
+        }
+        fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+            ctx.send_up(b)
+        }
+    }
+
+    #[test]
+    fn snoop_counts_both_directions() {
+        let s = Stream::bare();
+        s.set_device(Arc::new(Loopback));
+        let snoop = Snoop::new();
+        s.push_module(Arc::clone(&snoop) as Arc<dyn StreamModule>);
+        s.write(b"12345").unwrap();
+        let _ = s.read(100).unwrap();
+        assert_eq!(snoop.down_bytes.load(Ordering::Relaxed), 5);
+        assert_eq!(snoop.up_bytes.load(Ordering::Relaxed), 5);
+        assert!(snoop.stats().contains("in: blocks 1 bytes 5"));
+    }
+
+    #[test]
+    fn delim_restores_boundaries_over_byte_link() {
+        let s = Stream::bare();
+        s.set_device(Arc::new(ByteLoop));
+        s.push_module(DelimMod::new() as Arc<dyn StreamModule>);
+        s.write(b"first message").unwrap();
+        s.write(b"second").unwrap();
+        assert_eq!(s.read(1000).unwrap(), b"first message");
+        assert_eq!(s.read(1000).unwrap(), b"second");
+    }
+
+    #[test]
+    fn bytestuff_round_trip_with_flag_bytes() {
+        let s = Stream::bare();
+        s.set_device(Arc::new(ByteLoop));
+        s.push_module(ByteStuff::new() as Arc<dyn StreamModule>);
+        let payload = vec![1, 0x7e, 2, 0x7d, 3];
+        s.write(&payload).unwrap();
+        assert_eq!(s.read(1000).unwrap(), payload);
+    }
+
+    #[test]
+    fn snoop_tap_copies() {
+        let copies = Arc::new(Mutex::new(Vec::new()));
+        let c = Arc::clone(&copies);
+        let snoop = Snoop::new();
+        snoop.set_tap(move |b| c.lock().push(b.data));
+        let s = Stream::bare();
+        s.set_device(Arc::new(Loopback));
+        s.push_module(Arc::clone(&snoop) as Arc<dyn StreamModule>);
+        s.write(b"tapped").unwrap();
+        let _ = s.read(100).unwrap();
+        let seen = copies.lock();
+        assert_eq!(seen.len(), 2, "one copy each direction");
+    }
+}

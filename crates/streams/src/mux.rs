@@ -1,0 +1,260 @@
+//! Multiplexing conversations onto one physical stream (§2.4.3).
+//!
+//! "We push a multiplexer processing module onto the physical device
+//! stream to group the conversations. ... The multiplexing module looks
+//! at each message moving up its stream and puts it to the correct
+//! conversation stream after stripping the header controlling the
+//! demultiplexing."
+//!
+//! The paper is emphatic that Plan 9 has *no general structure* for
+//! multiplexers — each is coded from scratch, favoring simplicity over
+//! generality. [`Mux`] therefore stays small: a classifier closure maps
+//! an upstream block to an integer conversation key; ports register for
+//! keys. A port registered for [`Mux::ALL`] receives a copy of every
+//! message (the Ethernet driver's special packet type `-1`), and several
+//! ports on one key each receive a copy, matching the Ethernet driver's
+//! copy semantics.
+
+use crate::block::{Block, BlockKind};
+use crate::module::{ModuleCtx, StreamModule};
+use crate::Result;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a demultiplexed block is delivered: usually a closure feeding a
+/// conversation stream's upstream side.
+pub struct MuxPort {
+    /// Registration id, used to detach.
+    pub id: u64,
+    key: i64,
+    deliver: Box<dyn Fn(Block) + Send + Sync>,
+}
+
+/// A hand-rolled multiplexer processing module.
+pub struct Mux {
+    name: String,
+    /// Classifies an upstream block into (conversation key, header bytes
+    /// to strip). `None` means unclassifiable; the block is counted and
+    /// dropped.
+    classify: Box<dyn Fn(&Block) -> Option<(i64, usize)> + Send + Sync>,
+    ports: Mutex<Vec<Arc<MuxPort>>>,
+    next_id: AtomicU64,
+    /// Unroutable upstream blocks, for the device's `stats` file.
+    pub dropped: AtomicU64,
+    /// Blocks delivered upstream.
+    pub delivered: AtomicU64,
+}
+
+impl Mux {
+    /// The key that receives a copy of everything (packet type `-1`).
+    pub const ALL: i64 = -1;
+
+    /// Creates a multiplexer with the given upstream classifier.
+    pub fn new<F>(name: &str, classify: F) -> Arc<Mux>
+    where
+        F: Fn(&Block) -> Option<(i64, usize)> + Send + Sync + 'static,
+    {
+        Arc::new(Mux {
+            name: name.to_string(),
+            classify: Box::new(classify),
+            ports: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a conversation for `key`; the closure is called with
+    /// each matching block (header already stripped).
+    pub fn attach<F>(&self, key: i64, deliver: F) -> Arc<MuxPort>
+    where
+        F: Fn(Block) + Send + Sync + 'static,
+    {
+        let port = Arc::new(MuxPort {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            key,
+            deliver: Box::new(deliver),
+        });
+        self.ports.lock().push(Arc::clone(&port));
+        port
+    }
+
+    /// Detaches a conversation.
+    pub fn detach(&self, port: &MuxPort) {
+        self.ports.lock().retain(|p| p.id != port.id);
+    }
+
+    /// Number of attached conversations.
+    pub fn conversations(&self) -> usize {
+        self.ports.lock().len()
+    }
+
+    fn route_up(&self, b: Block) {
+        match (self.classify)(&b) {
+            Some((key, strip)) => {
+                let stripped = Block {
+                    kind: b.kind,
+                    delim: b.delim,
+                    data: b.data[strip.min(b.data.len())..].to_vec(),
+                };
+                let ports: Vec<Arc<MuxPort>> = self
+                    .ports
+                    .lock()
+                    .iter()
+                    .filter(|p| p.key == key || p.key == Mux::ALL)
+                    .cloned()
+                    .collect();
+                if ports.is_empty() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                // Each matching conversation receives a copy.
+                for p in &ports {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    (p.deliver)(stripped.clone());
+                }
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl StreamModule for Mux {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Downstream traffic passes through untouched: conversations add
+    /// their own headers before putting blocks below the multiplexer.
+    fn put_down(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        ctx.send_down(b)
+    }
+
+    /// Upstream traffic is classified and delivered to conversations; it
+    /// does not continue up the physical stream.
+    fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+        match b.kind {
+            BlockKind::Data => {
+                self.route_up(b);
+                Ok(())
+            }
+            // Hangup and control indications concern the physical stream's
+            // owner, so they continue upward.
+            _ => ctx.send_up(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Queue;
+    use crate::stream::Stream;
+
+    /// Classifier: first byte is the conversation key; strip it.
+    fn first_byte_mux() -> Arc<Mux> {
+        Mux::new("test-mux", |b| {
+            b.data.first().map(|&k| (k as i64, 1usize))
+        })
+    }
+
+    #[test]
+    fn routes_by_key_and_strips_header() {
+        let mux = first_byte_mux();
+        let q1 = Arc::new(Queue::default());
+        let q2 = Arc::new(Queue::default());
+        let (a, b) = (Arc::clone(&q1), Arc::clone(&q2));
+        mux.attach(1, move |blk| {
+            a.put(blk).unwrap();
+        });
+        mux.attach(2, move |blk| {
+            b.put(blk).unwrap();
+        });
+        mux.route_up(Block::delim(vec![1, b'x']));
+        mux.route_up(Block::delim(vec![2, b'y']));
+        assert_eq!(q1.try_get().unwrap().data, b"x");
+        assert_eq!(q2.try_get().unwrap().data, b"y");
+        assert!(q1.try_get().is_none());
+    }
+
+    #[test]
+    fn all_key_sees_everything() {
+        let mux = first_byte_mux();
+        let snoop = Arc::new(Queue::default());
+        let s = Arc::clone(&snoop);
+        mux.attach(Mux::ALL, move |blk| {
+            s.put(blk).unwrap();
+        });
+        mux.route_up(Block::delim(vec![7, b'a']));
+        mux.route_up(Block::delim(vec![9, b'b']));
+        assert_eq!(snoop.try_get().unwrap().data, b"a");
+        assert_eq!(snoop.try_get().unwrap().data, b"b");
+    }
+
+    #[test]
+    fn copies_to_multiple_ports_on_same_key() {
+        let mux = first_byte_mux();
+        let q1 = Arc::new(Queue::default());
+        let q2 = Arc::new(Queue::default());
+        let (a, b) = (Arc::clone(&q1), Arc::clone(&q2));
+        mux.attach(5, move |blk| a.put(blk).unwrap());
+        mux.attach(5, move |blk| b.put(blk).unwrap());
+        mux.route_up(Block::delim(vec![5, b'z']));
+        assert_eq!(q1.try_get().unwrap().data, b"z");
+        assert_eq!(q2.try_get().unwrap().data, b"z");
+    }
+
+    #[test]
+    fn unroutable_counted_dropped() {
+        let mux = first_byte_mux();
+        mux.route_up(Block::delim(vec![42]));
+        assert_eq!(mux.dropped.load(Ordering::Relaxed), 1);
+        mux.route_up(Block::delim(Vec::new())); // unclassifiable
+        assert_eq!(mux.dropped.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn detach_stops_delivery() {
+        let mux = first_byte_mux();
+        let q = Arc::new(Queue::default());
+        let qq = Arc::clone(&q);
+        let port = mux.attach(3, move |blk| qq.put(blk).unwrap());
+        mux.route_up(Block::delim(vec![3, b'1']));
+        mux.detach(&port);
+        mux.route_up(Block::delim(vec![3, b'2']));
+        assert_eq!(q.try_get().unwrap().data, b"1");
+        assert!(q.try_get().is_none());
+        assert_eq!(mux.conversations(), 0);
+    }
+
+    #[test]
+    fn on_stream_upstream_data_goes_to_conversations_not_reader() {
+        // Physical stream: [mux, loop-device]; data fed up from the
+        // device is routed to the conversation, not the stream reader.
+        struct Dev;
+        impl StreamModule for Dev {
+            fn name(&self) -> &str {
+                "dev"
+            }
+            fn put_down(&self, _ctx: &ModuleCtx, _b: Block) -> Result<()> {
+                Ok(())
+            }
+            fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
+                ctx.send_up(b)
+            }
+        }
+        let s = Stream::bare();
+        s.set_device(Arc::new(Dev));
+        let mux = first_byte_mux();
+        let q = Arc::new(Queue::default());
+        let qq = Arc::clone(&q);
+        mux.attach(4, move |blk| qq.put(blk).unwrap());
+        s.push_module(mux);
+        s.feed_up(Block::delim(vec![4, b'm'])).unwrap();
+        assert_eq!(q.try_get().unwrap().data, b"m");
+        assert_eq!(s.readable_bytes(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Queues: the buffering half of a processing-module instance.
+//!
+//! "An instance of a processing module is represented by a pair of
+//! queues, one for each direction. The queues point to the put procedures
+//! and can be used to queue information traveling along the stream."
+//!
+//! A queue is a bounded FIFO of [`Block`]s. The bound is in bytes and
+//! provides the stream's flow control: `put` blocks when the queue is
+//! full, which exerts backpressure on the writer — the same role queue
+//! limits play in the Plan 9 kernel.
+
+use crate::block::{Block, BlockKind};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Default queue limit in bytes, matching the generosity of kernel
+/// stream queues.
+pub const DEFAULT_LIMIT: usize = 128 * 1024;
+
+struct QueueInner {
+    blocks: VecDeque<Block>,
+    bytes: usize,
+    closed: bool,
+    hungup: bool,
+}
+
+/// A bounded, blocking FIFO of blocks.
+pub struct Queue {
+    inner: Mutex<QueueInner>,
+    readable: Condvar,
+    writable: Condvar,
+    limit: usize,
+}
+
+impl Default for Queue {
+    fn default() -> Self {
+        Queue::new(DEFAULT_LIMIT)
+    }
+}
+
+impl Queue {
+    /// Creates a queue bounded at `limit` bytes of buffered data.
+    pub fn new(limit: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                blocks: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+                hungup: false,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            limit,
+        }
+    }
+
+    /// Appends a block, waiting while the queue is over its limit.
+    ///
+    /// Control and hangup blocks are never blocked by flow control ("the
+    /// time to parse control blocks is not important, since control
+    /// operations are rare" — but they must not deadlock behind data).
+    pub fn put(&self, b: Block) -> crate::Result<()> {
+        let mut inner = self.inner.lock();
+        if b.kind == BlockKind::Data {
+            while inner.bytes >= self.limit && !inner.closed {
+                self.writable.wait(&mut inner);
+            }
+        }
+        if inner.closed {
+            return Err(plan9_ninep::NineError::new(plan9_ninep::errstr::EHUNGUP));
+        }
+        if b.kind == BlockKind::Hangup {
+            inner.hungup = true;
+        }
+        inner.bytes += b.len();
+        inner.blocks.push_back(b);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    /// Puts a block back at the *front* of the queue (a partially
+    /// consumed read).
+    pub fn put_back(&self, b: Block) {
+        let mut inner = self.inner.lock();
+        inner.bytes += b.len();
+        inner.blocks.push_front(b);
+        self.readable.notify_all();
+    }
+
+    /// Removes the next block, blocking until one is available.
+    ///
+    /// Returns `None` once the queue is drained *and* has been hung up or
+    /// closed — the reader's end-of-file.
+    pub fn get(&self) -> Option<Block> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(b) = inner.blocks.pop_front() {
+                inner.bytes -= b.len();
+                self.writable.notify_all();
+                return Some(b);
+            }
+            if inner.closed || inner.hungup {
+                return None;
+            }
+            self.readable.wait(&mut inner);
+        }
+    }
+
+    /// Like [`Queue::get`] with a timeout; `Ok(None)` is end-of-file,
+    /// `Err(())` is a timeout with the queue still live.
+    pub fn get_timeout(&self, d: Duration) -> Result<Option<Block>, ()> {
+        let deadline = std::time::Instant::now() + d;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(b) = inner.blocks.pop_front() {
+                inner.bytes -= b.len();
+                self.writable.notify_all();
+                return Ok(Some(b));
+            }
+            if inner.closed || inner.hungup {
+                return Ok(None);
+            }
+            if self
+                .readable
+                .wait_until(&mut inner, deadline)
+                .timed_out()
+            {
+                return Err(());
+            }
+        }
+    }
+
+    /// Removes the next block without blocking.
+    pub fn try_get(&self) -> Option<Block> {
+        let mut inner = self.inner.lock();
+        let b = inner.blocks.pop_front()?;
+        inner.bytes -= b.len();
+        self.writable.notify_all();
+        Some(b)
+    }
+
+    /// Marks the queue closed: pending data may still be read, further
+    /// puts fail, blocked getters see end-of-file when drained.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Marks the queue hung up (reads drain then see end-of-file) while
+    /// still accepting puts — used when the device end goes away but data
+    /// already queued should be deliverable.
+    pub fn hangup(&self) {
+        let mut inner = self.inner.lock();
+        inner.hungup = true;
+        self.readable.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Whether a hangup has been signaled.
+    pub fn is_hungup(&self) -> bool {
+        let inner = self.inner.lock();
+        inner.hungup || inner.closed
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered_bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of blocks currently buffered.
+    pub fn buffered_blocks(&self) -> usize {
+        self.inner.lock().blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::default();
+        q.put(Block::data(vec![1])).unwrap();
+        q.put(Block::data(vec![2])).unwrap();
+        assert_eq!(q.get().unwrap().data, vec![1]);
+        assert_eq!(q.get().unwrap().data, vec![2]);
+    }
+
+    #[test]
+    fn get_blocks_until_put() {
+        let q = Arc::new(Queue::default());
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.get());
+        std::thread::sleep(Duration::from_millis(20));
+        q.put(Block::data(vec![9])).unwrap();
+        assert_eq!(t.join().unwrap().unwrap().data, vec![9]);
+    }
+
+    #[test]
+    fn limit_applies_backpressure() {
+        let q = Arc::new(Queue::new(10));
+        q.put(Block::data(vec![0; 10])).unwrap();
+        let q2 = Arc::clone(&q);
+        let start = Instant::now();
+        let t = std::thread::spawn(move || {
+            q2.put(Block::data(vec![1; 5])).unwrap();
+            Instant::now()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        q.get().unwrap();
+        let unblocked_at = t.join().unwrap();
+        assert!(unblocked_at.duration_since(start) >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn control_blocks_bypass_flow_control() {
+        let q = Queue::new(1);
+        q.put(Block::data(vec![0; 100])).unwrap();
+        // A control block must not block even though the queue is full.
+        q.put(Block::control("status")).unwrap();
+    }
+
+    #[test]
+    fn close_gives_eof_after_drain() {
+        let q = Queue::default();
+        q.put(Block::data(vec![1])).unwrap();
+        q.close();
+        assert!(q.get().is_some());
+        assert!(q.get().is_none());
+        assert!(q.put(Block::data(vec![2])).is_err());
+    }
+
+    #[test]
+    fn hangup_allows_drain() {
+        let q = Queue::default();
+        q.put(Block::data(vec![1])).unwrap();
+        q.hangup();
+        assert!(q.get().is_some());
+        assert!(q.get().is_none());
+    }
+
+    #[test]
+    fn put_back_is_lifo_at_front() {
+        let q = Queue::default();
+        q.put(Block::data(vec![2])).unwrap();
+        q.put_back(Block::data(vec![1]));
+        assert_eq!(q.get().unwrap().data, vec![1]);
+        assert_eq!(q.get().unwrap().data, vec![2]);
+    }
+
+    #[test]
+    fn timeout_reports_distinctly() {
+        let q = Queue::default();
+        assert_eq!(q.get_timeout(Duration::from_millis(10)), Err(()));
+        q.close();
+        assert_eq!(q.get_timeout(Duration::from_millis(10)), Ok(None));
+    }
+}

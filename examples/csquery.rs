@@ -1,0 +1,71 @@
+//! Reproduces the paper's §4.2 `ndb/csquery` sessions, including the
+//! `$attr` meta-name search, against the paper's own database entries.
+//!
+//! Run with `cargo run --example csquery`.
+
+use plan9::core::machine::MachineBuilder;
+use plan9::inet::ip::IpConfig;
+use plan9::netsim::ether::EtherSegment;
+use plan9::netsim::fabric::DatakitSwitch;
+use plan9::netsim::profile::Profiles;
+use plan9::ninep::procfs::OpenMode;
+
+/// The §4.1 database: the CPU server entry, the Class B network with
+/// its auth servers, and the service map (added by the machine).
+const NDB: &str = "\
+ipnet=mh-astro-net ip=135.104.0.0 ipmask=255.255.255.0
+\tfs=bootes.research.bell-labs.com
+\tauth=p9auth auth=musca
+sys=helix
+\tdom=helix.research.bell-labs.com
+\tbootf=/mips/9power
+\tip=135.104.9.31 ether=0800690222f0
+\tdk=nj/astro/helix
+\tproto=il flavor=9cpu
+sys=p9auth ip=135.104.9.34 dk=nj/astro/p9auth proto=il
+sys=musca ip=135.104.9.6 dk=nj/astro/musca proto=il
+sys=gnot ip=135.104.9.40 dk=nj/astro/philw-gnot proto=il
+";
+
+fn csquery(p: &plan9::core::proc::Proc, query: &str) {
+    println!("> {query}");
+    let fd = p.open("/net/cs", OpenMode::RDWR).expect("open /net/cs");
+    match p.write_str(fd, query) {
+        Ok(_) => loop {
+            let line = p.read(fd, 256).expect("read cs");
+            if line.is_empty() {
+                break;
+            }
+            println!("{}", String::from_utf8_lossy(&line));
+        },
+        Err(e) => println!("csquery: {e}"),
+    }
+    p.close(fd);
+}
+
+fn main() {
+    let seg = EtherSegment::new(Profiles::ether_fast());
+    let switch = DatakitSwitch::new(Profiles::datakit_fast());
+    let gnot = MachineBuilder::new("gnot")
+        .ether(&seg, [8, 0, 0x69, 2, 0x22, 0x40], IpConfig::local("135.104.9.40"))
+        .datakit(&switch, "nj/astro/philw-gnot")
+        .ndb(NDB)
+        .build()
+        .expect("boot gnot");
+    let p = gnot.proc();
+
+    println!("% ndb/csquery");
+    // The paper's first example: a file-server name.
+    csquery(&p, "net!helix!9fs");
+    println!();
+    // The paper's second example: the $auth meta-name, searched most
+    // closely associated with the source host, then its network.
+    csquery(&p, "net!$auth!rexauth");
+    println!();
+    // Addresses work as well as names (§5.1).
+    csquery(&p, "tcp!135.104.117.5!513");
+    println!();
+    // And errors are strings.
+    csquery(&p, "net!nonesuch!9fs");
+    println!("\ncsquery: OK");
+}

@@ -1,0 +1,15 @@
+//! Facade crate for the Plan 9 networks reproduction.
+//!
+//! Re-exports every subsystem crate under one name so the examples and
+//! integration tests read naturally. See `README.md` and `DESIGN.md` for
+//! the system map.
+
+pub use plan9_core as core;
+pub use plan9_cs as cs;
+pub use plan9_datakit as datakit;
+pub use plan9_exportfs as exportfs;
+pub use plan9_inet as inet;
+pub use plan9_ndb as ndb;
+pub use plan9_netsim as netsim;
+pub use plan9_ninep as ninep;
+pub use plan9_streams as streams;

@@ -1,0 +1,155 @@
+//! Integration: §6.1 — exportfs/import gatewaying between networks.
+
+use plan9::core::dial::{accept, announce, dial, listen};
+use plan9::core::machine::{Machine, MachineBuilder};
+use plan9::core::namespace::MAFTER;
+use plan9::exportfs::exportfs::exportfs_listener;
+use plan9::exportfs::import::import;
+use plan9::inet::ip::IpConfig;
+use plan9::netsim::ether::EtherSegment;
+use plan9::netsim::fabric::DatakitSwitch;
+use plan9::netsim::profile::Profiles;
+use std::sync::Arc;
+
+const NDB: &str = "\
+sys=helix ip=10.21.0.1 dk=nj/astro/helix proto=il proto=tcp
+sys=musca ip=10.21.0.9 proto=tcp
+sys=gnot dk=nj/astro/gnot
+";
+
+/// helix has ether+dk; musca is ether-only; gnot is dk-only.
+fn world() -> (Arc<Machine>, Arc<Machine>, Arc<Machine>) {
+    let seg = EtherSegment::new(Profiles::ether_fast());
+    let switch = DatakitSwitch::new(Profiles::datakit_fast());
+    let helix = MachineBuilder::new("helix")
+        .ether(&seg, [8, 0, 0, 21, 0, 1], IpConfig::local("10.21.0.1"))
+        .datakit(&switch, "nj/astro/helix")
+        .ndb(NDB)
+        .build()
+        .unwrap();
+    let musca = MachineBuilder::new("musca")
+        .ether(&seg, [8, 0, 0, 21, 0, 9], IpConfig::local("10.21.0.9"))
+        .ndb(NDB)
+        .build()
+        .unwrap();
+    let gnot = MachineBuilder::new("gnot")
+        .datakit(&switch, "nj/astro/gnot")
+        .ndb(NDB)
+        .build()
+        .unwrap();
+    (helix, musca, gnot)
+}
+
+#[test]
+fn union_shows_local_before_remote_and_adds_unique() {
+    let (helix, _musca, gnot) = world();
+    exportfs_listener(helix.proc(), "dk!*!exportfs", usize::MAX).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let p = gnot.proc();
+    let before: Vec<String> = p.ls("/net").unwrap().iter().map(|d| d.name.clone()).collect();
+    assert!(before.contains(&"dk".to_string()));
+    assert!(before.contains(&"cs".to_string()));
+    assert!(!before.contains(&"tcp".to_string()), "terminal has no tcp");
+    import(&p, "dk!nj/astro/helix!exportfs", "/net", "/net", MAFTER).expect("import");
+    let after: Vec<String> = p.ls("/net").unwrap().iter().map(|d| d.name.clone()).collect();
+    // Unique remote entries are now visible...
+    for name in ["tcp", "il", "udp", "ether0"] {
+        assert!(after.contains(&name.to_string()), "{name} missing: {after:?}");
+    }
+    // ...and shared names appear once (local supersedes remote).
+    assert_eq!(after.iter().filter(|n| *n == "cs").count(), 1);
+    assert_eq!(after.iter().filter(|n| *n == "dk").count(), 1);
+}
+
+#[test]
+fn gatewayed_dial_reaches_ether_only_host() {
+    let (helix, musca, gnot) = world();
+    // A daytime server on the ether-only host.
+    let mp = musca.proc();
+    std::thread::spawn(move || {
+        let (_afd, adir) = announce(&mp, "tcp!*!daytime").expect("announce");
+        loop {
+            let Ok((lcfd, ldir)) = listen(&mp, &adir) else { return };
+            let Ok(dfd) = accept(&mp, lcfd, &ldir) else { return };
+            let _ = mp.write(dfd, b"16 Jul 1992 17:28");
+            mp.close(dfd);
+            mp.close(lcfd);
+        }
+    });
+    exportfs_listener(helix.proc(), "dk!*!exportfs", usize::MAX).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let p = gnot.proc();
+    import(&p, "dk!nj/astro/helix!exportfs", "/net", "/net", MAFTER).expect("import");
+    // The dial goes through gnot's (dk-only) cs, falls back to the raw
+    // clone path, and the connect executes on helix — which resolves
+    // the name "musca" in its own database.
+    let conn = dial(&p, "tcp!musca!daytime").expect("dial through gateway");
+    let date = p.read(conn.data_fd, 128).expect("read");
+    assert_eq!(date, b"16 Jul 1992 17:28");
+}
+
+#[test]
+fn remote_status_files_visible_through_gateway() {
+    let (helix, _musca, gnot) = world();
+    exportfs_listener(helix.proc(), "dk!*!exportfs", usize::MAX).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let p = gnot.proc();
+    import(&p, "dk!nj/astro/helix!exportfs", "/net", "/net", MAFTER).expect("import");
+    // Reading helix's ether stats across the gateway.
+    let fd = p
+        .open("/net/ether0/clone", plan9::ninep::procfs::OpenMode::RDWR)
+        .expect("open remote clone");
+    // §2.3 order: read the connection number, then write the ctl.
+    let n = String::from_utf8(p.read(fd, 16).unwrap()).unwrap();
+    p.write_str(fd, "connect 2048").expect("connect");
+    let sfd = p
+        .open(
+            &format!("/net/ether0/{n}/stats"),
+            plan9::ninep::procfs::OpenMode::READ,
+        )
+        .expect("open stats");
+    let stats = p.read_string(sfd).expect("read stats");
+    assert!(stats.contains("addr:"), "{stats}");
+}
+
+#[test]
+fn import_subtree_other_than_net() {
+    let (helix, _musca, gnot) = world();
+    // Put something notable in helix's /lib.
+    helix
+        .rootfs
+        .put_file("/lib/ndb/global", b"# the AT&T-wide file\n")
+        .unwrap();
+    exportfs_listener(helix.proc(), "dk!*!exportfs", usize::MAX).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let p = gnot.proc();
+    import(
+        &p,
+        "dk!nj/astro/helix!exportfs",
+        "/lib/ndb",
+        "/n/helixndb",
+        plan9::core::namespace::MREPL,
+    )
+    .expect("import /lib/ndb");
+    let fd = p
+        .open("/n/helixndb/global", plan9::ninep::procfs::OpenMode::READ)
+        .expect("open");
+    assert_eq!(p.read_string(fd).unwrap(), "# the AT&T-wide file\n");
+}
+
+#[test]
+fn import_missing_tree_reports_error() {
+    let (helix, _musca, gnot) = world();
+    exportfs_listener(helix.proc(), "dk!*!exportfs", usize::MAX).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let p = gnot.proc();
+    let err = import(
+        &p,
+        "dk!nj/astro/helix!exportfs",
+        "/no/such/tree",
+        "/n/x",
+        plan9::core::namespace::MREPL,
+    )
+    .unwrap_err();
+    assert!(err.0.contains("NO"), "{err}");
+}
