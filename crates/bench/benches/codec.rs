@@ -1,12 +1,12 @@
 //! Microbenchmarks for the 9P wire codec: the per-message cost that
 //! every remote file operation pays.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use plan9_support::bench::{black_box, Harness};
 use plan9_ninep::codec::{decode_rmsg, decode_tmsg, encode_rmsg, encode_tmsg};
 use plan9_ninep::fcall::{Rmsg, Tmsg};
 use plan9_ninep::{Dir, Qid};
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(c: &mut Harness) {
     let mut g = c.benchmark_group("9p-codec");
     let twalk = Tmsg::Walk {
         fid: 7,
@@ -24,7 +24,7 @@ fn bench_codec(c: &mut Criterion) {
         fid: 7,
         data: vec![0x42; 8192],
     };
-    g.throughput(Throughput::Bytes(8192));
+    g.throughput_bytes(8192);
     g.bench_function("encode-rread-8k", |b| {
         b.iter(|| encode_rmsg(black_box(9), black_box(&rread)))
     });
@@ -44,5 +44,7 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_codec(&mut h);
+}

@@ -1,7 +1,7 @@
 //! Name-space and connection-setup costs: path resolution through mount
 //! tables, union listing, CS translation, and the full §2.3 dial dance.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plan9_support::bench::{black_box, Harness};
 use plan9_core::dial::{accept, announce, dial, listen};
 use plan9_core::machine::{Machine, MachineBuilder};
 use plan9_inet::ip::IpConfig;
@@ -26,7 +26,7 @@ fn machines() -> (Arc<Machine>, Arc<Machine>) {
     (a, b)
 }
 
-fn bench_namespace(c: &mut Criterion) {
+fn bench_namespace(c: &mut Harness) {
     let (helix, gnot) = machines();
     let p = gnot.proc();
 
@@ -72,5 +72,7 @@ fn bench_namespace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_namespace);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_namespace(&mut h);
+}

@@ -1,13 +1,13 @@
 //! Database search costs at the paper's scale (§4.1): hashed attribute
 //! lookup against linear scan over a 43,000-line global file.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plan9_support::bench::{black_box, Harness};
 use plan9_ndb::db::Db;
 use plan9_ndb::gen::generate_global;
 use plan9_ndb::hash::build_hash;
 use std::io::Write as _;
 
-fn bench_ndb(c: &mut Criterion) {
+fn bench_ndb(c: &mut Harness) {
     let (text, names) = generate_global(43_000, 1993);
     let dir = std::env::temp_dir().join(format!("plan9-ndbbench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("mkdir");
@@ -42,5 +42,7 @@ fn bench_ndb(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_ndb);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_ndb(&mut h);
+}

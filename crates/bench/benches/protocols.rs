@@ -2,12 +2,12 @@
 //! cost when the wire is free — the processing the paper charges to
 //! 25 MHz MIPS, measured on this machine.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use plan9_support::bench::{black_box, Harness};
 use plan9_bench::paths::{
     cyclone_path, il_ether_path, pipes_path, urp_datakit_path, BenchChan, Calibration,
 };
 
-fn rtt_bench<A: BenchChan, B: BenchChan>(c: &mut Criterion, name: &str, a: A, b: B) {
+fn rtt_bench<A: BenchChan, B: BenchChan>(c: &mut Harness, name: &str, a: A, b: B) {
     let echo = std::thread::spawn(move || loop {
         let msg = b.recv();
         if msg == b"quit" {
@@ -25,7 +25,7 @@ fn rtt_bench<A: BenchChan, B: BenchChan>(c: &mut Criterion, name: &str, a: A, b:
     let _ = echo.join();
 }
 
-fn bench_protocols(c: &mut Criterion) {
+fn bench_protocols(c: &mut Harness) {
     {
         let (a, b) = pipes_path();
         rtt_bench(c, "rtt/pipes", a, b);
@@ -45,7 +45,7 @@ fn bench_protocols(c: &mut Criterion) {
 
     // One-way 16 KiB messages: the Table 1 write size, unpaced.
     let mut g = c.benchmark_group("oneway-16k");
-    g.throughput(Throughput::Bytes(16 * 1024));
+    g.throughput_bytes(16 * 1024);
     {
         let (a, b) = il_ether_path(Calibration::Fast);
         let drain = std::thread::spawn(move || loop {
@@ -68,5 +68,7 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_protocols(&mut h);
+}

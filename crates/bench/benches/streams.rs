@@ -3,7 +3,7 @@
 //! freeing, and moving blocks of data" — measured here as the block-move
 //! cost through put chains of increasing length.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plan9_support::bench::{black_box, Harness};
 use plan9_streams::{Block, BlockKind, ModuleCtx, Stream, StreamModule};
 use std::sync::Arc;
 
@@ -39,7 +39,7 @@ impl StreamModule for Loopback {
     }
 }
 
-fn bench_streams(c: &mut Criterion) {
+fn bench_streams(c: &mut Harness) {
     let mut g = c.benchmark_group("stream-roundtrip");
     for depth in [0usize, 2, 4, 8] {
         let s = Stream::bare();
@@ -48,8 +48,8 @@ fn bench_streams(c: &mut Criterion) {
             s.push_module(Arc::new(PassThru));
         }
         let payload = vec![7u8; 4096];
-        g.throughput(Throughput::Bytes(4096));
-        g.bench_with_input(BenchmarkId::new("modules", depth), &depth, |b, _| {
+        g.throughput_bytes(4096);
+        g.bench_function(&format!("modules/{depth}"), |b| {
             b.iter(|| {
                 s.write(black_box(&payload)).unwrap();
                 black_box(s.read(8192).unwrap());
@@ -78,5 +78,7 @@ fn bench_streams(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_streams);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_streams(&mut h);
+}

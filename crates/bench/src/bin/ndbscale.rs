@@ -7,8 +7,7 @@
 use plan9_ndb::db::Db;
 use plan9_ndb::gen::generate_global;
 use plan9_ndb::hash::build_hash;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use plan9_support::rng::SmallRng;
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -27,9 +26,9 @@ fn main() {
         .and_then(|mut f| f.write_all(text.as_bytes()))
         .expect("write global");
 
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let mut rng = SmallRng::seed_from_u64(7);
     let mut probe: Vec<&String> = names.iter().collect();
-    probe.shuffle(&mut rng);
+    rng.shuffle(&mut probe);
     let probes: Vec<&String> = probe.into_iter().take(200).collect();
 
     // Linear scans (no hash file yet).

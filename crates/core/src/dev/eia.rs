@@ -13,7 +13,7 @@
 //! "The control file is used to control the device; writing the string
 //! `b1200` to /dev/eia1ctl sets the line to 1200 baud."
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_netsim::uart::UartEnd;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;

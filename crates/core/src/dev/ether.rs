@@ -20,8 +20,8 @@
 //! type": the written bytes are the six-byte destination followed by the
 //! payload; the driver supplies source and type.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{bounded, Receiver, Sender};
+use plan9_support::sync::Mutex;
 use plan9_netsim::ether::{mac_to_string, EtherFrame, EtherStation, BROADCAST};
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;

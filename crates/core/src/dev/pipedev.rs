@@ -6,7 +6,7 @@
 //! stream automatically. The last close destroys it" (§2.4.1) — the
 //! stream pair lives exactly as long as open references to it.
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;
 use plan9_ninep::{errstr, Dir, NineError, Result};

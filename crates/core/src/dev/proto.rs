@@ -19,7 +19,7 @@
 //! The protocol itself plugs in through [`ProtoOps`]; TCP, UDP, IL and
 //! Datakit/URP implementations live in [`crate::machine`].
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;
 use plan9_ninep::{errstr, Dir, NineError, Result};
@@ -343,7 +343,7 @@ impl ProcFs for ProtoDev {
                     match &*state {
                         ConnState::Announced(a) => {
                             // The announce objects are internally
-                            // synchronized and listen() blocks; parking_lot
+                            // synchronized and listen() blocks; support
                             // locks are not reentrant, so hold only what we
                             // must. We temporarily move the call out via
                             // the trait object reference. Blocking while
@@ -544,7 +544,7 @@ impl ProcFs for ProtoDev {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use plan9_support::chan::{unbounded, Receiver, Sender};
 
     /// A toy in-memory protocol: "addresses" name rendezvous queues.
     struct Rendezvous {

@@ -11,7 +11,7 @@ use crate::dev::proto::{AnnounceOps, ConnOps, ProtoDev, ProtoOps};
 use crate::dev::{EiaDev, EtherDev};
 use crate::namespace::{Namespace, Source, MAFTER, MREPL};
 use crate::proc::Proc;
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_cs::{CsConfig, CsServer, DnsServer, NetworkDecl, SimInternet};
 use plan9_datakit::urp::{urp_dial, UrpConn};
 use plan9_inet::ip::{IpConfig, IpStack};
@@ -513,7 +513,7 @@ impl ProtoOps for UdpProto {
 pub struct DkDispatcher {
     addr: String,
     line: Arc<DatakitLine>,
-    services: Mutex<HashMap<String, crossbeam::channel::Sender<(Arc<UrpConn>, String)>>>,
+    services: Mutex<HashMap<String, plan9_support::chan::Sender<(Arc<UrpConn>, String)>>>,
 }
 
 impl DkDispatcher {
@@ -590,7 +590,7 @@ impl ConnOps for DkConnOps {
 struct DkAnnounceOps {
     service: String,
     local: String,
-    rx: crossbeam::channel::Receiver<(Arc<UrpConn>, String)>,
+    rx: plan9_support::chan::Receiver<(Arc<UrpConn>, String)>,
 }
 
 impl AnnounceOps for DkAnnounceOps {
@@ -619,7 +619,7 @@ impl ProtoOps for DkProto {
     fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>> {
         // `*!9fs` or `9fs`.
         let service = addr.rsplit_once('!').map(|(_, s)| s).unwrap_or(addr);
-        let (tx, rx) = crossbeam::channel::bounded(32);
+        let (tx, rx) = plan9_support::chan::bounded(32);
         let mut services = self.dispatcher.services.lock();
         if services.contains_key(service) {
             return Err(NineError::new(format!("service in use: {service}")));

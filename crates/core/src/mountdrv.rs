@@ -233,8 +233,8 @@ mod tests {
     /// senders use `sendmsg` concurrently.
     #[derive(Clone)]
     struct SharedPipe {
-        tx: std::sync::Arc<parking_lot::Mutex<plan9_ninep::transport::MsgPipeSink>>,
-        rx: std::sync::Arc<parking_lot::Mutex<plan9_ninep::transport::MsgPipeSource>>,
+        tx: std::sync::Arc<plan9_support::sync::Mutex<plan9_ninep::transport::MsgPipeSink>>,
+        rx: std::sync::Arc<plan9_support::sync::Mutex<plan9_ninep::transport::MsgPipeSource>>,
     }
 
     impl MsgSink for SharedPipe {
@@ -259,8 +259,8 @@ mod tests {
         });
         let (ctx, crx) = client_end.split();
         let shared = SharedPipe {
-            tx: std::sync::Arc::new(parking_lot::Mutex::new(ctx)),
-            rx: std::sync::Arc::new(parking_lot::Mutex::new(crx)),
+            tx: std::sync::Arc::new(plan9_support::sync::Mutex::new(ctx)),
+            rx: std::sync::Arc::new(plan9_support::sync::Mutex::new(crx)),
         };
         MountDriver::over_messages(shared).unwrap()
     }

@@ -8,7 +8,7 @@
 //! union of all members, and earlier entries supersede later ones of the
 //! same name.
 
-use parking_lot::RwLock;
+use plan9_support::sync::RwLock;
 use plan9_ninep::procfs::{ProcFs, ServeNode};
 use plan9_ninep::{errstr, NineError, Result};
 use std::sync::Arc;

@@ -8,7 +8,7 @@
 
 use crate::mountdrv::{ChanIo, MountDriver};
 use crate::namespace::{Namespace, Source};
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::dir::DIR_LEN;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs};
 use plan9_ninep::{errstr, Dir, NineError, Result};

@@ -8,7 +8,7 @@
 
 use crate::qfile::QueryFs;
 use crate::zones::{Record, SimInternet};
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::{NineError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

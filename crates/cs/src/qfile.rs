@@ -6,7 +6,7 @@
 //! same way on `/net/dns`. [`QueryFs`] captures that conversation once;
 //! CS and DNS plug in their translation functions.
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;
 use plan9_ninep::{errstr, Dir, NineError, Result};

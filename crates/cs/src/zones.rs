@@ -6,7 +6,7 @@
 //! real recursive walk — root zone, then down one delegation at a time —
 //! so caching and query counting behave like the paper's DNS.
 
-use parking_lot::RwLock;
+use plan9_support::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -9,7 +9,7 @@
 //! a **REJ**. The last cell of a user message is flagged **EOM**, so
 //! message boundaries survive — the property 9P demands.
 
-use parking_lot::{Condvar, Mutex};
+use plan9_support::sync::{Condvar, Mutex};
 use plan9_netsim::fabric::{Circuit, DatakitLine, IncomingCall};
 use plan9_netsim::wire::RecvOutcome;
 use plan9_ninep::NineError;

@@ -12,7 +12,7 @@
 //! server layer runs each request in its own worker, because `open`,
 //! `read` and `write` may block (§6.1).
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_core::namespace::{clean_path, Namespace, Source};
 use plan9_core::proc::Proc;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, Perm, ProcFs, ServeNode};

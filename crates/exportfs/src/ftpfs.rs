@@ -8,7 +8,7 @@
 //! created."
 
 use crate::ftpd::LineChan;
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_core::dial::dial;
 use plan9_core::namespace::clean_path;
 use plan9_core::proc::Proc;

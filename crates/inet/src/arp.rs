@@ -5,7 +5,7 @@
 //! of that facility, with a cache and request/reply handling.
 
 use crate::addr::IpAddr;
-use parking_lot::{Condvar, Mutex};
+use plan9_support::sync::{Condvar, Mutex};
 use plan9_netsim::ether::MacAddr;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

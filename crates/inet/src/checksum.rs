@@ -17,10 +17,31 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     !(sum as u16)
 }
 
-/// Verifies a buffer whose checksum field is already in place: the sum
-/// over the whole buffer must be zero.
+/// Verifies a buffer whose checksum field is already in place.
+///
+/// For an even-length buffer the checksum field sits on a 16-bit
+/// boundary, so the one's-complement sum over the whole buffer is zero
+/// (after complement, `internet_checksum` returns 0).
+///
+/// An odd-length buffer can only mean the two checksum bytes were
+/// appended directly after odd-length data, leaving them *unaligned*:
+/// summing the whole buffer would pad at the wrong spot and shift the
+/// checksum into the wrong byte lanes, which is exactly the bug the
+/// old fold rule had. Re-align instead: the data part is everything
+/// but the trailing two bytes (padded with a zero byte by
+/// `internet_checksum`'s own remainder rule), and the stored checksum
+/// is read as one big-endian word and compared against the recomputed
+/// value.
 pub fn verify(data: &[u8]) -> bool {
-    internet_checksum(data) == 0
+    if data.len() % 2 == 0 {
+        return internet_checksum(data) == 0;
+    }
+    if data.len() < 2 {
+        return false;
+    }
+    let (body, trailer) = data.split_at(data.len() - 2);
+    let stored = u16::from_be_bytes([trailer[0], trailer[1]]);
+    internet_checksum(body) == stored
 }
 
 #[cfg(test)]
@@ -47,13 +68,29 @@ mod tests {
 
     #[test]
     fn odd_length_handled() {
-        let data = [1u8, 2, 3];
-        let _ = internet_checksum(&data);
+        // Round trip: compute over odd-length data, append, verify.
+        for data in [&[1u8, 2, 3][..], &[0xff, 0xff, 0xff, 0xff, 0xff], &[7]] {
+            let mut with_sum = data.to_vec();
+            let sum = internet_checksum(data);
+            with_sum.extend_from_slice(&sum.to_be_bytes());
+            assert!(verify(&with_sum), "odd round trip failed for {data:?}");
+            // Any single corrupted byte must break verification.
+            for i in 0..with_sum.len() {
+                let mut bad = with_sum.clone();
+                bad[i] ^= 0x5a;
+                assert!(!verify(&bad), "corruption at {i} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn even_length_round_trip_with_appended_sum() {
+        let data = [1u8, 2, 3, 4];
         let mut with_sum = data.to_vec();
         let sum = internet_checksum(&data);
         with_sum.extend_from_slice(&sum.to_be_bytes());
-        // Appending the checksum after odd data does not verify with the
-        // simple rule (padding shifts), so just check determinism.
-        assert_eq!(internet_checksum(&data), internet_checksum(&[1, 2, 3]));
+        assert!(verify(&with_sum));
+        with_sum[1] ^= 0x80;
+        assert!(!verify(&with_sum));
     }
 }

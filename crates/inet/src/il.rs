@@ -25,8 +25,8 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use plan9_support::chan::{bounded, Receiver, Sender};
+use plan9_support::sync::{Condvar, Mutex};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -9,8 +9,8 @@ use crate::addr::IpAddr;
 use crate::arp::{ArpCache, ArpPacket, ARP_ETHERTYPE, ARP_REPLY, ARP_REQUEST, IP_ETHERTYPE};
 use crate::checksum::internet_checksum;
 use crate::{il, tcp, udp};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{unbounded, Receiver, Sender};
+use plan9_support::sync::Mutex;
 use plan9_netsim::ether::{EtherStation, BROADCAST};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap};

@@ -1,6 +1,6 @@
 //! Port allocation shared by the transport protocols.
 
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use plan9_ninep::NineError;
 use std::collections::HashSet;
 

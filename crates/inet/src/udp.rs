@@ -6,8 +6,8 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{bounded, Receiver, Sender};
+use plan9_support::sync::Mutex;
 use plan9_ninep::NineError;
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};

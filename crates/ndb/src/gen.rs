@@ -5,8 +5,7 @@
 //! global file of the same shape and size so the hashed-vs-linear search
 //! benchmark runs against realistic data.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use plan9_support::rng::SmallRng;
 use std::fmt::Write as _;
 
 /// Deterministically generates a global ndb file with roughly

@@ -293,22 +293,20 @@ ipnet=third-floor ip=135.104.51.0\n\tipgw=135.104.51.1\n";
         assert_eq!(reparsed[0].pairs, entries[0].pairs);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_render_parse_round_trip(
-            attrs in proptest::collection::vec(("[a-z]{1,8}", "[a-z0-9./!-]{0,12}"), 1..10)
-        ) {
+    plan9_support::props! {
+        fn prop_render_parse_round_trip(g, cases = 256) {
+            const ATTR: &str = "abcdefghijklmnopqrstuvwxyz";
+            const VAL: &str = "abcdefghijklmnopqrstuvwxyz0123456789./!-";
             let entry = Entry {
-                pairs: attrs
-                    .iter()
-                    .map(|(a, v)| (a.clone(), v.clone()))
-                    .collect(),
+                pairs: g.vec(1..10, |g| {
+                    (g.string_of(ATTR, 1..9), g.string_of(VAL, 0..13))
+                }),
                 offset: 0,
             };
             let text = entry.render();
             let reparsed = parse_entries(&text);
-            proptest::prop_assert_eq!(reparsed.len(), 1);
-            proptest::prop_assert_eq!(&reparsed[0].pairs, &entry.pairs);
+            assert_eq!(reparsed.len(), 1);
+            assert_eq!(&reparsed[0].pairs, &entry.pairs);
         }
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::profile::LinkProfile;
 use crate::wire::{wire_pair, RecvOutcome, WireRx, WireTx};
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use std::time::Duration;
 
 /// One end of a Cyclone link.

@@ -10,8 +10,8 @@
 
 use crate::profile::LinkProfile;
 use crate::wire::Medium;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
+use plan9_support::sync::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -12,8 +12,8 @@
 
 use crate::profile::LinkProfile;
 use crate::wire::{wire_pair, RecvOutcome, WireRx, WireTx};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{unbounded, Receiver, Sender};
+use plan9_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;

@@ -5,7 +5,7 @@
 //! unpaced, delimiter-preserving duplex channel — memory speed, like the
 //! paper's pipes row.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 /// One end of a duplex pipe.

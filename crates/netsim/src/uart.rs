@@ -5,7 +5,7 @@
 //! at any time — writing `b1200` to `/dev/eia1ctl` in the device layer
 //! calls [`UartEnd::set_baud`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use plan9_support::chan::{unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

@@ -7,10 +7,9 @@
 //! are applied in flight.
 
 use crate::profile::LinkProfile;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
+use plan9_support::sync::Mutex;
+use plan9_support::rng::SmallRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

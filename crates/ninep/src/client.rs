@@ -12,8 +12,8 @@ use crate::procfs::OpenMode;
 use crate::qid::Qid;
 use crate::transport::{MsgSink, MsgSource};
 use crate::{errstr, Dir, NineError, Result};
-use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
+use plan9_support::chan::{bounded, Sender};
+use plan9_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::Arc;
@@ -140,7 +140,7 @@ impl NineClient {
     /// The tag most recently allocated minus pending bookkeeping is not
     /// exposed; callers that need to flush use [`NineClient::rpc_tagged`]
     /// to learn the tag up front.
-    pub fn rpc_tagged(&self, t: &Tmsg) -> (Tag, crossbeam::channel::Receiver<Rmsg>) {
+    pub fn rpc_tagged(&self, t: &Tmsg) -> (Tag, plan9_support::chan::Receiver<Rmsg>) {
         let tag = self.alloc_tag();
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(tag, tx);

@@ -151,13 +151,10 @@ mod tests {
         assert!(rx.recvmsg().is_err());
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_round_trip_any_messages_any_chunking(
-            msgs in proptest::collection::vec(
-                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..300), 1..20),
-            chunk in 1usize..17,
-        ) {
+    plan9_support::props! {
+        fn prop_round_trip_any_messages_any_chunking(g, cases = 256) {
+            let msgs = g.vec(1..20, |g| g.bytes(0..300));
+            let chunk = g.usize_in(1..17);
             let (a, mut b) = BytePipeEnd::pair();
             b.max_chunk = chunk;
             let mut tx = FramedSink::new(a);
@@ -166,7 +163,7 @@ mod tests {
                 tx.sendmsg(m).unwrap();
             }
             for m in &msgs {
-                proptest::prop_assert_eq!(rx.recvmsg().unwrap().unwrap(), m.clone());
+                assert_eq!(rx.recvmsg().unwrap().unwrap(), m.clone());
             }
         }
     }

@@ -10,7 +10,7 @@
 use crate::dir::{Dir, DIR_LEN};
 use crate::qid::Qid;
 use crate::{errstr, NineError, Result};
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

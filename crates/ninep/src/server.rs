@@ -15,7 +15,7 @@ use crate::fcall::{Fid, Rmsg, Tag, Tmsg, CHAL_LEN, MAX_FDATA};
 use crate::procfs::{OpenMode, ProcFs, ServeNode};
 use crate::transport::{MsgSink, MsgSource};
 use crate::{errstr, NineError, Result};
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 

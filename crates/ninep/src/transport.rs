@@ -7,7 +7,7 @@
 //! adapted with the [`crate::marshal`] module.
 
 use crate::{NineError, Result};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use plan9_support::chan::{unbounded, Receiver, Sender};
 
 /// The sending half of a delimited, reliable, sequenced message transport.
 pub trait MsgSink: Send {

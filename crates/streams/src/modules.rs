@@ -7,7 +7,7 @@
 use crate::block::{Block, BlockKind};
 use crate::module::{ModuleCtx, StreamModule};
 use crate::Result;
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

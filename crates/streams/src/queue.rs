@@ -10,7 +10,7 @@
 //! limits play in the Plan 9 kernel.
 
 use crate::block::{Block, BlockKind};
-use parking_lot::{Condvar, Mutex};
+use plan9_support::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
 

@@ -10,7 +10,7 @@ use crate::block::{Block, BlockKind};
 use crate::module::{ModuleCtx, StreamModule};
 use crate::stream::Stream;
 use crate::Result;
-use parking_lot::Mutex;
+use plan9_support::sync::Mutex;
 use std::sync::{Arc, Weak};
 
 /// The device end of one side of a pipe: everything put down is fed up

@@ -5,7 +5,7 @@ use crate::block::{Block, BlockKind};
 use crate::module::{Direction, ModuleCtx, StreamModule};
 use crate::queue::Queue;
 use crate::Result;
-use parking_lot::{Mutex, RwLock};
+use plan9_support::sync::{Mutex, RwLock};
 use plan9_ninep::{errstr, NineError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -575,9 +575,9 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_delimiters_preserved(sizes in proptest::collection::vec(1usize..5000, 1..12)) {
+    plan9_support::props! {
+        fn prop_delimiters_preserved(g, cases = 64) {
+            let sizes = g.vec(1..12, |g| g.usize_in(1..5000));
             let s = loop_stream();
             for (i, n) in sizes.iter().enumerate() {
                 let byte = (i % 251) as u8;
@@ -585,8 +585,8 @@ mod tests {
             }
             for (i, n) in sizes.iter().enumerate() {
                 let msg = s.read(*n + 10).unwrap();
-                proptest::prop_assert_eq!(msg.len(), *n);
-                proptest::prop_assert!(msg.iter().all(|&b| b == (i % 251) as u8));
+                assert_eq!(msg.len(), *n);
+                assert!(msg.iter().all(|&b| b == (i % 251) as u8));
             }
         }
     }

@@ -1,0 +1,26 @@
+//! The in-tree support layer: the small slice of general-purpose
+//! machinery the other crates need, owned here so the workspace builds
+//! hermetically — offline, deterministically, on a clean checkout with
+//! an empty registry cache.
+//!
+//! The paper's IL protocol is 847 lines *because* it owns its
+//! primitives; in the same spirit this crate replaces every registry
+//! dependency the workspace used to pull:
+//!
+//! | module    | replaces          | surface                                  |
+//! |-----------|-------------------|------------------------------------------|
+//! | [`sync`]  | `parking_lot`     | no-poison `Mutex`/`RwLock`/`Condvar`     |
+//! | [`chan`]  | `crossbeam`       | bounded/unbounded mpmc channels          |
+//! | [`rng`]   | `rand`            | seedable `SmallRng` (splitmix64)         |
+//! | [`buf`]   | `bytes`           | `BytesMut`/`Bytes` byte-buffer surface   |
+//! | [`check`] | `proptest`        | property-test runner + [`props!`] macro  |
+//! | [`bench`] | `criterion`       | micro-bench harness, no-op-able          |
+//!
+//! Everything here sits on `std` alone.
+
+pub mod bench;
+pub mod buf;
+pub mod chan;
+pub mod check;
+pub mod rng;
+pub mod sync;

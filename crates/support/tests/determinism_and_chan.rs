@@ -1,0 +1,151 @@
+//! The contracts netsim and streams sit on: RNG streams are a pure
+//! function of the seed, and channels neither lose nor duplicate
+//! messages under concurrent producers.
+
+use plan9_support::chan::{bounded, unbounded, RecvError};
+use plan9_support::rng::SmallRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn same_seed_same_stream() {
+    let mut a = SmallRng::seed_from_u64(0x9fc0de);
+    let mut b = SmallRng::seed_from_u64(0x9fc0de);
+    for _ in 0..10_000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    // Every derived draw is deterministic too, not just the raw stream.
+    let mut a = SmallRng::seed_from_u64(1993);
+    let mut b = SmallRng::seed_from_u64(1993);
+    for _ in 0..1_000 {
+        assert_eq!(a.gen_bool(0.05), b.gen_bool(0.05));
+        assert_eq!(a.gen_range(0..1500usize), b.gen_range(0..1500usize));
+        assert_eq!(a.gen_range(0.0f64..0.08), b.gen_range(0.0f64..0.08));
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = SmallRng::seed_from_u64(1);
+    let mut b = SmallRng::seed_from_u64(2);
+    let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+    assert_eq!(same, 0, "seeds 1 and 2 produced colliding draws");
+}
+
+#[test]
+fn rng_stream_is_pinned_across_builds() {
+    // netsim's loss/delay decisions must replay identically on every
+    // platform and toolchain: pin the first draws of a known seed.
+    let mut r = SmallRng::seed_from_u64(0);
+    let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        first,
+        [
+            0xe220a8397b1dcdaf,
+            0x6e789e6aa1b965f4,
+            0x06c45d188009454f,
+            0xf88bb8a8724c81ec,
+        ]
+    );
+}
+
+#[test]
+fn concurrent_producers_lose_nothing() {
+    const PRODUCERS: u64 = 8;
+    const PER_PRODUCER: u64 = 2_000;
+    let (tx, rx) = bounded::<u64>(16);
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                tx.send(p * PER_PRODUCER + i).unwrap();
+            }
+        }));
+    }
+    drop(tx);
+    let mut seen = HashSet::new();
+    loop {
+        match rx.recv() {
+            Ok(v) => assert!(seen.insert(v), "duplicate delivery of {v}"),
+            Err(RecvError) => break,
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(seen.len() as u64, PRODUCERS * PER_PRODUCER);
+}
+
+#[test]
+fn per_sender_fifo_is_preserved() {
+    let (tx, rx) = unbounded::<(u8, u32)>();
+    let mut handles = Vec::new();
+    for p in 0..4u8 {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..1_000u32 {
+                tx.send((p, i)).unwrap();
+            }
+        }));
+    }
+    drop(tx);
+    let mut next = [0u32; 4];
+    while let Ok((p, i)) = rx.recv() {
+        assert_eq!(i, next[p as usize], "sender {p} reordered");
+        next[p as usize] += 1;
+    }
+    assert_eq!(next, [1_000; 4]);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn close_wakes_blocked_receivers() {
+    let (tx, rx) = unbounded::<u8>();
+    let rx = Arc::new(rx);
+    let waiter = {
+        let rx = Arc::clone(&rx);
+        std::thread::spawn(move || rx.recv())
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    drop(tx);
+    assert_eq!(waiter.join().unwrap(), Err(RecvError));
+}
+
+#[test]
+fn close_wakes_blocked_senders() {
+    let (tx, rx) = bounded::<u8>(1);
+    tx.send(1).unwrap();
+    let blocked = std::thread::spawn(move || tx.send(2));
+    std::thread::sleep(Duration::from_millis(20));
+    drop(rx);
+    assert!(blocked.join().unwrap().is_err());
+}
+
+#[test]
+fn shared_consumers_partition_the_stream() {
+    let (tx, rx) = unbounded::<u32>();
+    let rx2 = rx.clone();
+    let consumer = |rx: plan9_support::chan::Receiver<u32>| {
+        std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got
+        })
+    };
+    let a = consumer(rx);
+    let b = consumer(rx2);
+    for i in 0..10_000 {
+        tx.send(i).unwrap();
+    }
+    drop(tx);
+    let mut all = a.join().unwrap();
+    all.extend(b.join().unwrap());
+    all.sort_unstable();
+    assert_eq!(all, (0..10_000).collect::<Vec<_>>());
+}

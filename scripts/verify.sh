@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification: the build must be hermetic (offline, empty
+# registry cache) and every test must pass. This is the gate every PR
+# runs; a new registry dependency anywhere in the workspace fails the
+# --offline build immediately.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# No crate manifest may name a registry dependency.
+if grep -rn 'crossbeam\|parking_lot\|proptest\|criterion\|^rand\|^bytes' \
+    crates/*/Cargo.toml Cargo.toml; then
+    echo "verify: registry dependency found in a manifest" >&2
+    exit 1
+fi
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "verify: OK (hermetic build + tests)"

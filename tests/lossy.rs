@@ -7,7 +7,6 @@ use plan9::inet::ip::IpConfig;
 use plan9::netsim::ether::EtherSegment;
 use plan9::netsim::fabric::DatakitSwitch;
 use plan9::netsim::profile::{LinkProfile, Profiles};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn machines_on(profile: LinkProfile) -> (Arc<Machine>, Arc<Machine>) {
@@ -97,16 +96,12 @@ fn urp_bulk_integrity_over_lossy_circuit() {
     assert_eq!(server.join().unwrap(), payload);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
+plan9_support::props! {
     /// Arbitrary message sequences survive a lossy Ethernet with their
     /// boundaries intact (IL's contract with 9P).
-    #[test]
-    fn prop_il_messages_survive_loss(
-        msgs in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..3000), 1..20),
-        loss in 0.0f64..0.08,
-    ) {
+    fn prop_il_messages_survive_loss(g, cases = 4) {
+        let msgs = g.vec(1..20, |g| g.bytes(0..3000));
+        let loss = g.f64_in(0.0..0.08);
         let (a, b) = machines_on(Profiles::ether_fast().with_loss(loss));
         let n = msgs.len();
         let p = b.proc();
@@ -131,9 +126,9 @@ proptest! {
         // read means EOF there), so compare non-empty prefixes
         // message-by-message.
         let sent: Vec<&Vec<u8>> = msgs.iter().collect();
-        prop_assert_eq!(got.len(), sent.len());
-        for (g, s) in got.iter().zip(sent) {
-            prop_assert_eq!(g, s);
+        assert_eq!(got.len(), sent.len());
+        for (got_msg, sent_msg) in got.iter().zip(sent) {
+            assert_eq!(got_msg, sent_msg);
         }
     }
 }
