@@ -17,7 +17,6 @@
 use plan9_inet::ip::{IpConfig, IpStack};
 use plan9_netsim::ether::EtherSegment;
 use plan9_netsim::profile::Profiles;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -62,8 +61,8 @@ fn run_il(loss: f64, salt: u8) -> (f64, u64, u64) {
     let stats = &a.il_module().stats;
     (
         elapsed,
-        stats.retransmit_bytes.load(Ordering::Relaxed),
-        stats.queries.load(Ordering::Relaxed),
+        stats.retransmit_bytes.get(),
+        stats.queries.get(),
     )
 }
 
@@ -89,8 +88,8 @@ fn run_tcp(loss: f64, salt: u8) -> (f64, u64, u64) {
     let stats = &a.tcp_module().stats;
     (
         elapsed,
-        stats.retransmit_bytes.load(Ordering::Relaxed),
-        stats.retransmit_segments.load(Ordering::Relaxed),
+        stats.retransmit_bytes.get(),
+        stats.retransmit_segments.get(),
     )
 }
 

@@ -23,6 +23,7 @@ fn main() {
         ("datakit", true),
         ("ndb", true),
         ("cs", true),
+        ("netlog", true),
         ("core", true),
         ("exportfs", true),
         ("bench", false),

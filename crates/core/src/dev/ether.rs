@@ -20,6 +20,7 @@
 //! type": the written bytes are the six-byte destination followed by the
 //! payload; the driver supplies source and type.
 
+use plan9_netlog::Counter;
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::Mutex;
 use plan9_netsim::ether::{mac_to_string, EtherFrame, EtherStation, BROADCAST};
@@ -75,11 +76,11 @@ pub struct EtherDev {
     handles: AtomicU64,
     open_refs: Mutex<HashMap<u64, usize>>,
     /// Frames received from the wire.
-    pub in_packets: AtomicU64,
+    pub in_packets: Counter,
     /// Frames transmitted.
-    pub out_packets: AtomicU64,
+    pub out_packets: Counter,
     /// Frames that matched no conversation.
-    pub unrouted: AtomicU64,
+    pub unrouted: Counter,
     closed: AtomicBool,
 }
 
@@ -94,9 +95,9 @@ impl EtherDev {
             next_conn: Mutex::new(1),
             handles: AtomicU64::new(1),
             open_refs: Mutex::new(HashMap::new()),
-            in_packets: AtomicU64::new(0),
-            out_packets: AtomicU64::new(0),
-            unrouted: AtomicU64::new(0),
+            in_packets: Counter::new("ether.in"),
+            out_packets: Counter::new("ether.out"),
+            unrouted: Counter::new("ether.unrouted"),
             closed: AtomicBool::new(false),
         });
         let rx_dev = Arc::clone(&dev);
@@ -122,7 +123,7 @@ impl EtherDev {
             let Some(frame) = self.station.recv_timeout(Duration::from_millis(50)) else {
                 continue;
             };
-            self.in_packets.fetch_add(1, Ordering::Relaxed);
+            self.in_packets.inc();
             let encoded = frame.encode();
             let mut routed = false;
             let convs: Vec<Arc<EtherConv>> = self.convs.lock().values().cloned().collect();
@@ -140,7 +141,7 @@ impl EtherDev {
                 }
             }
             if !routed {
-                self.unrouted.fetch_add(1, Ordering::Relaxed);
+                self.unrouted.inc();
             }
         }
     }
@@ -206,16 +207,18 @@ impl EtherDev {
 
     /// The `stats` text: "the interface address, packet input/output
     /// counts, error statistics, and general information about the state
-    /// of the interface."
+    /// of the interface." The trailing block is the shared wire's own
+    /// frame accounting.
     pub fn stats_text(&self) -> String {
         format!(
-            "addr: {}\nin: {}\nout: {}\nunrouted: {}\nconversations: {}\nmtu: {}\n",
+            "addr: {}\nin: {}\nout: {}\nunrouted: {}\nconversations: {}\nmtu: {}\n{}",
             self.addr_string(),
-            self.in_packets.load(Ordering::Relaxed),
-            self.out_packets.load(Ordering::Relaxed),
-            self.unrouted.load(Ordering::Relaxed),
+            self.in_packets.get(),
+            self.out_packets.get(),
+            self.unrouted.get(),
             self.convs.lock().len(),
             self.station.payload_mtu(),
+            self.station.medium().stats().render(),
         )
     }
 }
@@ -359,7 +362,7 @@ impl ProcFs for EtherDev {
                 self.station
                     .send(dst, ptype as u16, &data[6..])
                     .map_err(NineError::new)?;
-                self.out_packets.fetch_add(1, Ordering::Relaxed);
+                self.out_packets.inc();
                 Ok(data.len())
             }
             _ => Err(NineError::new(errstr::EPERM)),
@@ -548,8 +551,8 @@ mod tests {
         assert_eq!(parse_frame(&a.read(&ad, 0, 2048).unwrap()).unwrap().payload, b"private");
         // ...c never routed it (it was addressed to a).
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(c.in_packets.load(Ordering::Relaxed), 1);
-        assert_eq!(c.unrouted.load(Ordering::Relaxed), 1);
+        assert_eq!(c.in_packets.get(), 1);
+        assert_eq!(c.unrouted.get(), 1);
     }
 
     #[test]

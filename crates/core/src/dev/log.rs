@@ -1,0 +1,196 @@
+//! The netlog device: `/net/log/{ctl,data}`.
+//!
+//! Plan 9's `netlog` lets an administrator turn on per-protocol event
+//! tracing without recompiling the kernel: writing ASCII requests like
+//! `set il tcp` to the ctl file enables those facilities, and reading
+//! the data file drains the accumulated event text. [`LogFs`] is that
+//! device over a machine's [`plan9_netlog::EventLog`]; it is union-mounted under
+//! `/net` next to the protocol directories so the diagnostics travel
+//! with the network they describe.
+
+use plan9_netlog::NetLog;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// Qid paths: attach root = 0, the `log` directory = 1, its files above.
+const Q_ROOT: u32 = 0;
+const Q_LOG: u32 = 1;
+const Q_CTL: u32 = 2;
+const Q_DATA: u32 = 3;
+
+/// Serves a directory `log` containing `ctl` and `data` over a
+/// machine's event log.
+pub struct LogFs {
+    netlog: Arc<NetLog>,
+    handles: AtomicU64,
+}
+
+impl LogFs {
+    /// Wraps the machine's instrumentation block in the device tree.
+    pub fn new(netlog: Arc<NetLog>) -> Arc<LogFs> {
+        Arc::new(LogFs {
+            netlog,
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn log_entries(&self) -> Vec<Dir> {
+        vec![
+            Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0),
+            Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0),
+        ]
+    }
+
+    fn text_slice(s: String, offset: u64, count: usize) -> Vec<u8> {
+        let bytes = s.into_bytes();
+        let off = (offset as usize).min(bytes.len());
+        let end = (off + count).min(bytes.len());
+        bytes[off..end].to_vec()
+    }
+}
+
+impl ProcFs for LogFs {
+    fn fsname(&self) -> String {
+        "netlog".to_string()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            Qid::dir(Q_ROOT, 0),
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            n.qid,
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        match (n.qid.path_bits(), name) {
+            (Q_ROOT, "..") => Ok(*n),
+            (Q_ROOT, "log") => Ok(ServeNode::new(Qid::dir(Q_LOG, 0), n.handle)),
+            (Q_LOG, "..") => Ok(ServeNode::new(Qid::dir(Q_ROOT, 0), n.handle)),
+            (Q_LOG, "ctl") => Ok(ServeNode::new(Qid::file(Q_CTL, 0), n.handle)),
+            (Q_LOG, "data") => Ok(ServeNode::new(Qid::file(Q_DATA, 0), n.handle)),
+            _ if !n.qid.is_dir() => Err(NineError::new(errstr::ENOTDIR)),
+            _ => Err(NineError::new(errstr::ENOTEXIST)),
+        }
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        if n.qid.is_dir() && mode.access() != 0 {
+            return Err(NineError::new(errstr::EISDIR));
+        }
+        if n.qid.path_bits() == Q_DATA && mode.writable() {
+            return Err(NineError::new(errstr::EPERM));
+        }
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        match n.qid.path_bits() {
+            Q_ROOT => read_dir_slice(
+                &[Dir::directory("log", Qid::dir(Q_LOG, 0), 0o775, "network")],
+                offset,
+                count,
+            ),
+            Q_LOG => read_dir_slice(&self.log_entries(), offset, count),
+            // Reading ctl shows the enabled facilities as a replayable
+            // `set` request.
+            Q_CTL => Ok(Self::text_slice(self.netlog.events.mask_line(), offset, count)),
+            Q_DATA => Ok(Self::text_slice(self.netlog.events.render(), offset, count)),
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        if n.qid.path_bits() != Q_CTL {
+            return Err(NineError::new(errstr::EPERM));
+        }
+        let req = std::str::from_utf8(data)
+            .map_err(|_| NineError::new("control request is not text"))?;
+        self.netlog.events.ctl(req).map_err(NineError::new)?;
+        Ok(data.len())
+    }
+
+    fn clunk(&self, _n: &ServeNode) {}
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        match n.qid.path_bits() {
+            Q_ROOT => Ok(Dir::directory("/", Qid::dir(Q_ROOT, 0), 0o775, "network")),
+            Q_LOG => Ok(Dir::directory("log", Qid::dir(Q_LOG, 0), 0o775, "network")),
+            Q_CTL => Ok(Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0)),
+            Q_DATA => Ok(Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0)),
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plan9_netlog::Facility;
+
+    fn served() -> (Arc<LogFs>, Arc<NetLog>) {
+        let netlog = NetLog::new();
+        (LogFs::new(Arc::clone(&netlog)), netlog)
+    }
+
+    fn walk_open(fs: &Arc<LogFs>, path: &[&str], mode: OpenMode) -> ServeNode {
+        let mut n = fs.attach("u", "").unwrap();
+        for elem in path {
+            n = fs.walk(&n, elem).unwrap();
+        }
+        fs.open(&n, mode).unwrap()
+    }
+
+    #[test]
+    fn ctl_sets_mask_and_reads_back() {
+        let (fs, events) = served();
+        let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"set il tcp").unwrap();
+        assert!(events.events.enabled(Facility::Il));
+        assert!(events.events.enabled(Facility::Tcp));
+        let text = String::from_utf8(fs.read(&ctl, 0, 128).unwrap()).unwrap();
+        assert_eq!(text, "set il tcp\n");
+    }
+
+    #[test]
+    fn data_returns_enabled_events_only() {
+        let (fs, events) = served();
+        let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"set il").unwrap();
+        events.events.log(Facility::Il, || "rexmit id 7".to_string());
+        events.events.log(Facility::Tcp, || "never recorded".to_string());
+        let data = walk_open(&fs, &["log", "data"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&data, 0, 4096).unwrap()).unwrap();
+        assert_eq!(text, "il: rexmit id 7\n");
+    }
+
+    #[test]
+    fn clear_flushes_and_disables() {
+        let (fs, events) = served();
+        let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"set arp").unwrap();
+        events.events.log(Facility::Arp, || "who-has".to_string());
+        fs.write(&ctl, 0, b"clear").unwrap();
+        assert!(!events.events.enabled(Facility::Arp));
+        let data = walk_open(&fs, &["log", "data"], OpenMode::READ);
+        assert!(fs.read(&data, 0, 4096).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_requests_are_errors() {
+        let (fs, _events) = served();
+        let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
+        assert!(fs.write(&ctl, 0, b"set nosuch").is_err());
+        let data = walk_open(&fs, &["log", "data"], OpenMode::READ);
+        assert!(fs.write(&data, 0, b"no").is_err());
+    }
+}

@@ -9,11 +9,13 @@
 pub mod eia;
 pub mod ether;
 pub mod info;
+pub mod log;
 pub mod pipedev;
 pub mod proto;
 
 pub use eia::EiaDev;
 pub use info::{InfoFs, InfoGen};
+pub use log::LogFs;
 pub use pipedev::PipeFs;
 pub use ether::EtherDev;
 pub use proto::{AnnounceOps, ConnOps, ProtoDev, ProtoOps};

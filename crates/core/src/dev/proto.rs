@@ -59,6 +59,11 @@ pub trait ProtoOps: Send + Sync {
     fn connect(&self, addr: &str) -> Result<Arc<dyn ConnOps>>;
     /// Announces a service (`*!564`, `nj/astro/helix!9fs`).
     fn announce(&self, addr: &str) -> Result<Box<dyn AnnounceOps>>;
+    /// The protocol-wide `stats` file contents: ASCII `key: value`
+    /// lines, re-evaluated on every read.
+    fn stats_text(&self) -> String {
+        String::new()
+    }
 }
 
 enum ConnState {
@@ -91,10 +96,11 @@ impl Conn {
     }
 }
 
-// Qid layout: top dir = 0; clone = 1; connection c uses
+// Qid layout: top dir = 0; clone = 1; stats = 2; connection c uses
 // ((c + 1) << 4) | file-type.
 const Q_TOP: u32 = 0;
 const Q_CLONE: u32 = 1;
+const Q_STATS: u32 = 2;
 const T_DIR: u32 = 1;
 const T_CTL: u32 = 2;
 const T_DATA: u32 = 3;
@@ -199,7 +205,10 @@ impl ProtoDev {
     }
 
     fn top_entries(&self) -> Vec<Dir> {
-        let mut out = vec![Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0)];
+        let mut out = vec![
+            Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0),
+            Dir::file("stats", Qid::file(Q_STATS, 0), 0o444, "network", 0),
+        ];
         let conns = self.conns.lock();
         let mut ids: Vec<usize> = conns.keys().copied().collect();
         ids.sort_unstable();
@@ -274,6 +283,9 @@ impl ProcFs for ProtoDev {
             if name == "clone" {
                 return Ok(ServeNode::new(Qid::file(Q_CLONE, 0), n.handle));
             }
+            if name == "stats" {
+                return Ok(ServeNode::new(Qid::file(Q_STATS, 0), n.handle));
+            }
             if let Ok(id) = name.parse::<usize>() {
                 self.conn(id)?;
                 return Ok(ServeNode::new(conn_qid(id, T_DIR), n.handle));
@@ -308,6 +320,12 @@ impl ProcFs for ProtoDev {
             if let Some((id, T_DIR)) = split_qid(q) {
                 let conn = self.conn(id)?;
                 self.take_ref(n.handle, &conn);
+            }
+            return Ok(*n);
+        }
+        if q.path_bits() == Q_STATS {
+            if mode.writable() {
+                return Err(NineError::new(errstr::EPERM));
             }
             return Ok(*n);
         }
@@ -382,6 +400,12 @@ impl ProcFs for ProtoDev {
         let q = n.qid;
         if q.is_dir() && q.path_bits() == Q_TOP {
             return read_dir_slice(&self.top_entries(), offset, count);
+        }
+        if q.path_bits() == Q_STATS {
+            let bytes = self.ops.stats_text().into_bytes();
+            let off = (offset as usize).min(bytes.len());
+            let end = (off + count).min(bytes.len());
+            return Ok(bytes[off..end].to_vec());
         }
         let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
         let conn = self.conn(id)?;
@@ -523,6 +547,9 @@ impl ProcFs for ProtoDev {
         if q.path_bits() == Q_CLONE {
             return Ok(Dir::file("clone", Qid::file(Q_CLONE, 0), 0o666, "network", 0));
         }
+        if q.path_bits() == Q_STATS {
+            return Ok(Dir::file("stats", Qid::file(Q_STATS, 0), 0o444, "network", 0));
+        }
         let (id, typ) = split_qid(q).ok_or_else(|| NineError::new(errstr::EBADUSE))?;
         let conn = self.conn(id)?;
         if typ == T_DIR {
@@ -629,6 +656,9 @@ mod tests {
                 rx,
                 addr: addr.to_string(),
             }))
+        }
+        fn stats_text(&self) -> String {
+            format!("toyCalls: {}\n", self.rdv.boards.lock().len())
         }
     }
 
@@ -786,6 +816,16 @@ mod tests {
             .chunks(plan9_ninep::dir::DIR_LEN)
             .map(|c| Dir::decode(c).unwrap().name)
             .collect::<Vec<_>>();
-        assert_eq!(entries, vec!["clone", "0"]);
+        assert_eq!(entries, vec!["clone", "stats", "0"]);
+    }
+
+    #[test]
+    fn stats_file_serves_protocol_counters() {
+        let (dev, _) = toy_dev();
+        let root = dev.attach("u", "").unwrap();
+        let stats = dev.walk(&root, "stats").unwrap();
+        assert!(dev.open(&stats, OpenMode::WRITE).is_err());
+        let stats = dev.open(&stats, OpenMode::READ).unwrap();
+        assert_eq!(dev.read(&stats, 0, 4096).unwrap(), b"toyCalls: 0\n");
     }
 }

@@ -214,6 +214,11 @@ impl MachineBuilder {
             );
             let net_dyn: Arc<dyn ProcFs> = net_info;
             ns.mount(Source::attach(&net_dyn, "bootes", "")?, "/net", MAFTER)?;
+            // The netlog device: /net/log/{ctl,data} over this stack's
+            // event ring.
+            let log_fs = crate::dev::LogFs::new(Arc::clone(stack.netlog()));
+            let log_dyn: Arc<dyn ProcFs> = log_fs;
+            ns.mount(Source::attach(&log_dyn, "bootes", "")?, "/net", MAFTER)?;
         }
         // DNS, then CS over it.
         let dns = self.internet.as_ref().map(|net| DnsServer::new(Arc::clone(net)));
@@ -387,6 +392,13 @@ impl ProtoOps for TcpProto {
             stack: Arc::clone(&self.stack),
         }))
     }
+    fn stats_text(&self) -> String {
+        format!(
+            "{}{}",
+            self.stack.tcp_module().stats.render(),
+            self.stack.stats.render()
+        )
+    }
 }
 
 struct IlProto {
@@ -451,6 +463,13 @@ impl ProtoOps for IlProto {
             stack: Arc::clone(&self.stack),
         }))
     }
+    fn stats_text(&self) -> String {
+        format!(
+            "{}{}",
+            self.stack.il_module().stats.render(),
+            self.stack.stats.render()
+        )
+    }
 }
 
 struct UdpProto {
@@ -501,6 +520,13 @@ impl ProtoOps for UdpProto {
         // UDP is connectionless; the paper's protocol devices announce
         // only stream-like protocols.
         Err(NineError::new("udp: announce not supported"))
+    }
+    fn stats_text(&self) -> String {
+        format!(
+            "{}{}",
+            self.stack.udp_module().render_stats(),
+            self.stack.stats.render()
+        )
     }
 }
 
@@ -675,8 +701,46 @@ sys=gnot ip=135.104.9.40 dk=nj/astro/philw-gnot proto=il proto=tcp
         names.sort();
         assert_eq!(
             names,
-            vec!["arp", "cs", "dk", "ether0", "il", "tcp", "udp"]
+            vec!["arp", "cs", "dk", "ether0", "il", "log", "tcp", "udp"]
         );
+    }
+
+    #[test]
+    fn stats_and_netlog_through_namespace() {
+        let (helix, gnot) = helix_and_gnot();
+        let hp = helix.proc();
+        // Trace IL on the caller, then run one echo over it.
+        let gp = gnot.proc();
+        let ctl = gp
+            .open("/net/log/ctl", plan9_ninep::procfs::OpenMode::RDWR)
+            .unwrap();
+        gp.write_str(ctl, "set il").unwrap();
+        let echo = std::thread::spawn(move || {
+            let (_afd, adir) = announce(&hp, "il!*!echo").unwrap();
+            let (lcfd, ldir) = listen(&hp, &adir).unwrap();
+            let dfd = accept(&hp, lcfd, &ldir).unwrap();
+            let msg = hp.read(dfd, 8192).unwrap();
+            hp.write(dfd, &msg).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let conn = dial(&gp, "il!135.104.9.31!echo").unwrap();
+        gp.write(conn.data_fd, b"count me").unwrap();
+        assert_eq!(gp.read(conn.data_fd, 8192).unwrap(), b"count me");
+        echo.join().unwrap();
+        // The protocol stats file shows traffic.
+        let fd = gp
+            .open("/net/il/stats", plan9_ninep::procfs::OpenMode::READ)
+            .unwrap();
+        let text = gp.read_string(fd).unwrap();
+        assert!(text.contains("ilTx:"), "{text}");
+        assert!(text.contains("ipRx:"), "{text}");
+        // The netlog data file holds only il-facility events.
+        let fd = gp
+            .open("/net/log/data", plan9_ninep::procfs::OpenMode::READ)
+            .unwrap();
+        let log = gp.read_string(fd).unwrap();
+        assert!(log.lines().all(|l| l.starts_with("il: ")), "{log}");
+        assert!(log.contains("sync id"), "{log}");
     }
 
     #[test]

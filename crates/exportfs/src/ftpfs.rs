@@ -16,6 +16,7 @@ use plan9_ninep::procfs::{read_dir_slice, OpenMode, Perm, ProcFs, ServeNode};
 use plan9_ninep::qid::Qid;
 use plan9_ninep::{errstr, Dir, NineError, Result};
 use std::collections::HashMap;
+use plan9_netlog::Counter;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -43,7 +44,7 @@ pub struct FtpFs {
     handles: AtomicU64,
     nodes: Mutex<HashMap<u64, String>>,
     /// Control round trips performed (cache effectiveness metric).
-    pub round_trips: AtomicU64,
+    pub round_trips: Counter,
 }
 
 impl FtpFs {
@@ -64,7 +65,7 @@ impl FtpFs {
             next_qid: AtomicU32::new(1),
             handles: AtomicU64::new(1),
             nodes: Mutex::new(HashMap::new()),
-            round_trips: AtomicU64::new(0),
+            round_trips: Counter::new("ftp.roundtrips"),
         });
         {
             let mut client = fs.client.lock();
@@ -114,7 +115,7 @@ impl FtpFs {
         if let Some(CacheEntry::Dir(entries)) = self.cache.lock().get(path).cloned() {
             return Ok(entries);
         }
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.inc();
         let mut client = self.client.lock();
         let mut chan = client.chan_raw();
         chan.write_line(&format!("LIST {path}"))?;
@@ -158,7 +159,7 @@ impl FtpFs {
         if let Some(CacheEntry::File(data)) = self.cache.lock().get(path).cloned() {
             return Ok(data);
         }
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.inc();
         let mut client = self.client.lock();
         let mut chan = client.chan_raw();
         chan.write_line(&format!("RETR {path}"))?;
@@ -183,7 +184,7 @@ impl FtpFs {
     /// Pushes a locally written file to the server and refreshes caches
     /// ("the cache is updated whenever a file is created").
     fn store(&self, path: &str, data: &[u8]) -> Result<()> {
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.inc();
         let mut client = self.client.lock();
         let mut chan = client.chan_raw();
         chan.write_line(&format!("STOR {} {}", data.len(), path))?;
@@ -209,7 +210,7 @@ impl std::fmt::Debug for FtpFs {
             f,
             "FtpFs(cached {}, round trips {})",
             self.cache.lock().len(),
-            self.round_trips.load(Ordering::Relaxed)
+            self.round_trips.get()
         )
     }
 }
@@ -343,7 +344,7 @@ impl ProcFs for FtpFs {
 
     fn remove(&self, n: &ServeNode) -> Result<()> {
         let path = self.node_path(n)?;
-        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.round_trips.inc();
         {
             let mut client = self.client.lock();
             let mut chan = client.chan_raw();

@@ -25,11 +25,11 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
+use plan9_netlog::{Counter, Facility, Histogram, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -202,18 +202,51 @@ pub(crate) struct ConnKey {
 }
 
 /// Aggregate IL counters, compared against TCP's in the §3 experiment.
-#[derive(Default)]
+/// All live in the stack's netlog registry under `il.*` names.
 pub struct IlStats {
     /// Data messages sent (first transmissions).
-    pub tx_msgs: AtomicU64,
+    pub tx_msgs: Counter,
     /// Data messages received in sequence.
-    pub rx_msgs: AtomicU64,
+    pub rx_msgs: Counter,
     /// Query messages sent on timeout.
-    pub queries: AtomicU64,
+    pub queries: Counter,
+    /// Acknowledgment messages sent.
+    pub acks: Counter,
     /// Data messages retransmitted after a State reply showed them lost.
-    pub retransmit_msgs: AtomicU64,
+    pub retransmit_msgs: Counter,
     /// Payload bytes retransmitted.
-    pub retransmit_bytes: AtomicU64,
+    pub retransmit_bytes: Counter,
+    /// Round-trip samples feeding the adaptive timeout (§3).
+    pub rtt: Histogram,
+}
+
+impl IlStats {
+    fn new(netlog: &NetLog) -> IlStats {
+        let reg = &netlog.registry;
+        IlStats {
+            tx_msgs: reg.counter("il.tx"),
+            rx_msgs: reg.counter("il.rx"),
+            queries: reg.counter("il.queries"),
+            acks: reg.counter("il.acks"),
+            retransmit_msgs: reg.counter("il.rexmit"),
+            retransmit_bytes: reg.counter("il.rexmitbytes"),
+            rtt: reg.histogram("il.rtt"),
+        }
+    }
+
+    /// Renders the counters plus the RTT histogram for a `stats` file.
+    pub fn render(&self) -> String {
+        format!(
+            "ilTx: {}\nilRx: {}\nilQueries: {}\nilAcks: {}\nilRexmit: {}\nilRexmitBytes: {}\n{}",
+            self.tx_msgs.get(),
+            self.rx_msgs.get(),
+            self.queries.get(),
+            self.acks.get(),
+            self.retransmit_msgs.get(),
+            self.retransmit_bytes.get(),
+            self.rtt.render()
+        )
+    }
 }
 
 /// The per-stack IL state.
@@ -223,6 +256,8 @@ pub struct IlModule {
     ports: PortSpace,
     /// Aggregate counters.
     pub stats: IlStats,
+    /// The stack's instrumentation block, for query/repair events.
+    netlog: Arc<NetLog>,
 }
 
 struct ListenerShared {
@@ -292,12 +327,13 @@ pub struct IlConn {
 }
 
 impl IlModule {
-    pub(crate) fn new() -> IlModule {
+    pub(crate) fn new(netlog: &Arc<NetLog>) -> IlModule {
         IlModule {
             conns: Mutex::new(HashMap::new()),
             listeners: Mutex::new(HashMap::new()),
             ports: PortSpace::new(),
-            stats: IlStats::default(),
+            stats: IlStats::new(netlog),
+            netlog: Arc::clone(netlog),
         }
     }
 
@@ -327,6 +363,9 @@ impl IlModule {
         let iss = initial_seq();
         let conn = IlConn::fresh(stack, key, IlState::Syncer, iss);
         self.conns.lock().insert(key, Arc::clone(&conn));
+        self.netlog.events.log(Facility::Il, || {
+            format!("sync id {iss} to {dst}!{dport}")
+        });
         conn.transmit(IlType::Sync, iss, 0, &[])?;
         {
             let mut inner = conn.inner.lock();
@@ -403,6 +442,9 @@ impl IlModule {
                 }
                 stack.il.conns.lock().insert(key, Arc::clone(&conn));
                 *conn.pending_listener.lock() = Some(listener);
+                stack.il.netlog.events.log(Facility::Il, || {
+                    format!("sync id {iss} from {src} port {}", pkt.src)
+                });
                 let _ = conn.transmit(IlType::Sync, iss, pkt.id, &[]);
                 conn.spawn_timer();
                 return;
@@ -592,7 +634,7 @@ impl IlConn {
             (id, inner.rcv_id)
         };
         if let Some(stack) = self.stack.upgrade() {
-            stack.il.stats.tx_msgs.fetch_add(1, Ordering::Relaxed);
+            stack.il.stats.tx_msgs.inc();
         }
         self.transmit(IlType::Data, id, ack, msg)
     }
@@ -733,11 +775,17 @@ impl IlConn {
                 Action::Die => break,
                 Action::None => {}
                 Action::SendAck(id, ack) => {
+                    if let Some(stack) = self.stack.upgrade() {
+                        stack.il.stats.acks.inc();
+                    }
                     let _ = self.transmit(IlType::Ack, id, ack, &[]);
                 }
                 Action::SendQuery(id, ack) => {
                     if let Some(stack) = self.stack.upgrade() {
-                        stack.il.stats.queries.fetch_add(1, Ordering::Relaxed);
+                        stack.il.stats.queries.inc();
+                        stack.il.netlog.events.log(Facility::Il, || {
+                            format!("query id {id} ack {ack}")
+                        });
                     }
                     let _ = self.transmit(IlType::Query, id, ack, &[]);
                 }
@@ -877,6 +925,9 @@ impl IlConn {
                     let inner = self.inner.lock();
                     (inner.snd_id, inner.rcv_id)
                 };
+                if let Some(stack) = self.stack.upgrade() {
+                    stack.il.stats.acks.inc();
+                }
                 let _ = self.transmit(IlType::Ack, id, ack, &[]);
             }
         }
@@ -890,16 +941,19 @@ impl IlConn {
         if !retransmit.is_empty() {
             if let Some(stack) = self.stack.upgrade() {
                 let bytes: usize = retransmit.iter().map(|(_, p)| p.len()).sum();
-                stack
-                    .il
-                    .stats
-                    .retransmit_msgs
-                    .fetch_add(retransmit.len() as u64, Ordering::Relaxed);
-                stack
-                    .il
-                    .stats
-                    .retransmit_bytes
-                    .fetch_add(bytes as u64, Ordering::Relaxed);
+                stack.il.stats.retransmit_msgs.add(retransmit.len() as u64);
+                stack.il.stats.retransmit_bytes.add(bytes as u64);
+                // One event per repaired message, so the event log is a
+                // ground truth the retransmit counter can be checked
+                // against.
+                for (id, payload) in &retransmit {
+                    let len = payload.len();
+                    stack
+                        .il
+                        .netlog
+                        .events
+                        .log(Facility::Il, || format!("rexmit id {id} len {len}"));
+                }
             }
             let ack = self.inner.lock().rcv_id;
             for (id, payload) in retransmit {
@@ -949,6 +1003,11 @@ impl IlConn {
                 if *id == ack && karn_clean {
                     let sample = sent.at.elapsed();
                     inner.record_rtt(sample);
+                    // The same sample feeds the adaptive-RTT histogram
+                    // shown in the protocol's stats file.
+                    if let Some(stack) = self.stack.upgrade() {
+                        stack.il.stats.rtt.record(sample);
+                    }
                 }
             }
         }
@@ -979,7 +1038,7 @@ impl IlConn {
                 }
             }
             if let Some(stack) = self.stack.upgrade() {
-                stack.il.stats.rx_msgs.fetch_add(1, Ordering::Relaxed);
+                stack.il.stats.rx_msgs.inc();
             }
             self.readable.notify_all();
         } else if seq_lt(inner.rcv_id, pkt.id) {
@@ -1116,7 +1175,7 @@ mod tests {
         }
         // Recovery must have used queries, not blasted everything.
         assert!(
-            a.il_module().stats.queries.load(Ordering::Relaxed) > 0,
+            a.il_module().stats.queries.get() > 0,
             "expected queries under loss"
         );
         conn.close();

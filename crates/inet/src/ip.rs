@@ -9,12 +9,13 @@ use crate::addr::IpAddr;
 use crate::arp::{ArpCache, ArpPacket, ARP_ETHERTYPE, ARP_REPLY, ARP_REQUEST, IP_ETHERTYPE};
 use crate::checksum::internet_checksum;
 use crate::{il, tcp, udp};
+use plan9_netlog::{Counter, NetLog, Registry};
 use plan9_support::chan::{unbounded, Receiver, Sender};
 use plan9_support::sync::Mutex;
 use plan9_netsim::ether::{EtherStation, BROADCAST};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,18 +49,42 @@ impl IpConfig {
 }
 
 /// Counters reported through the protocol devices' `stats` files.
-#[derive(Default)]
+/// All live in the stack's netlog [`Registry`] under `ip.*` names.
 pub struct IpStats {
     /// Packets delivered up from the wire.
-    pub rx_packets: AtomicU64,
+    pub rx_packets: Counter,
     /// Packets sent.
-    pub tx_packets: AtomicU64,
+    pub tx_packets: Counter,
     /// Packets dropped for bad checksum or malformed headers.
-    pub rx_errors: AtomicU64,
+    pub rx_errors: Counter,
     /// Datagrams reassembled from fragments.
-    pub reassembled: AtomicU64,
+    pub reassembled: Counter,
     /// Fragments emitted.
-    pub fragments_out: AtomicU64,
+    pub fragments_out: Counter,
+}
+
+impl IpStats {
+    fn new(reg: &Registry) -> IpStats {
+        IpStats {
+            rx_packets: reg.counter("ip.rx"),
+            tx_packets: reg.counter("ip.tx"),
+            rx_errors: reg.counter("ip.rxerr"),
+            reassembled: reg.counter("ip.reassembled"),
+            fragments_out: reg.counter("ip.fragout"),
+        }
+    }
+
+    /// Renders the counters as `key: value` lines for a `stats` file.
+    pub fn render(&self) -> String {
+        format!(
+            "ipRx: {}\nipTx: {}\nipRxErr: {}\nipReassembled: {}\nipFragOut: {}\n",
+            self.rx_packets.get(),
+            self.tx_packets.get(),
+            self.rx_errors.get(),
+            self.reassembled.get(),
+            self.fragments_out.get()
+        )
+    }
 }
 
 struct FragBuf {
@@ -97,6 +122,10 @@ pub struct IpStack {
     closed: AtomicBool,
     /// Traffic counters.
     pub stats: IpStats,
+    /// The machine-wide instrumentation block: metric registry plus
+    /// the `/net/log` event ring. One per stack, so simulated hosts
+    /// sharing a process keep separate diagnostics.
+    netlog: Arc<NetLog>,
     pub(crate) udp: udp::UdpModule,
     pub(crate) tcp: tcp::TcpModule,
     pub(crate) il: il::IlModule,
@@ -106,6 +135,7 @@ impl IpStack {
     /// Brings up an interface and starts its receiver processes.
     pub fn new(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
         let (loop_tx, loop_rx) = unbounded();
+        let netlog = NetLog::new();
         let stack = Arc::new(IpStack {
             cfg,
             station,
@@ -114,10 +144,11 @@ impl IpStack {
             frag: Mutex::new(HashMap::new()),
             ip_id: AtomicU16::new(1),
             closed: AtomicBool::new(false),
-            stats: IpStats::default(),
-            udp: udp::UdpModule::new(),
-            tcp: tcp::TcpModule::new(),
-            il: il::IlModule::new(),
+            stats: IpStats::new(&netlog.registry),
+            udp: udp::UdpModule::new(&netlog),
+            tcp: tcp::TcpModule::new(&netlog),
+            il: il::IlModule::new(&netlog),
+            netlog,
         });
         // The wire receiver: the "kernel process" the paper's device
         // interfaces wake from their interrupt routines.
@@ -176,6 +207,11 @@ impl IpStack {
         &self.il
     }
 
+    /// The stack's instrumentation block (metrics + event log).
+    pub fn netlog(&self) -> &Arc<NetLog> {
+        &self.netlog
+    }
+
     fn wire_loop(self: Arc<Self>) {
         while !self.is_shutdown() {
             let Some(frame) = self.station.recv_timeout(Duration::from_millis(50)) else {
@@ -221,7 +257,7 @@ impl IpStack {
 
     fn handle_ip(self: &Arc<Self>, packet: &[u8]) {
         let Some((hdr, payload)) = decode_ip(packet) else {
-            self.stats.rx_errors.fetch_add(1, Ordering::Relaxed);
+            self.stats.rx_errors.inc();
             return;
         };
         if hdr.dst != self.cfg.addr && hdr.dst != IpAddr::BROADCAST {
@@ -235,7 +271,7 @@ impl IpStack {
         let Some(data) = assembled else {
             return;
         };
-        self.stats.rx_packets.fetch_add(1, Ordering::Relaxed);
+        self.stats.rx_packets.inc();
         match hdr.proto {
             udp::UDP_PROTO => udp::UdpModule::input(self, hdr.src, &data),
             tcp::TCP_PROTO => tcp::TcpModule::input(self, hdr.src, &data),
@@ -275,7 +311,7 @@ impl IpStack {
             out.extend_from_slice(part);
         }
         frags.remove(&key);
-        self.stats.reassembled.fetch_add(1, Ordering::Relaxed);
+        self.stats.reassembled.inc();
         Some(out)
     }
 
@@ -293,7 +329,7 @@ impl IpStack {
             let end = (off + chunk).min(payload.len());
             let more = end < payload.len();
             self.send_one(dst, proto, id, (off / 8) as u16, more, &payload[off..end])?;
-            self.stats.fragments_out.fetch_add(1, Ordering::Relaxed);
+            self.stats.fragments_out.inc();
             off = end;
         }
         Ok(())
@@ -317,7 +353,7 @@ impl IpStack {
             more_frags,
         };
         let packet = encode_ip(&hdr, payload);
-        self.stats.tx_packets.fetch_add(1, Ordering::Relaxed);
+        self.stats.tx_packets.inc();
         if dst == self.cfg.addr {
             // Loopback: delivered by the loopback kernel process.
             return self
@@ -517,7 +553,7 @@ pub(crate) mod tests {
             .unwrap();
         let (_s, _p, data) = sock_b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(data, big);
-        assert!(a.stats.fragments_out.load(Ordering::Relaxed) >= 3);
-        assert_eq!(b.stats.reassembled.load(Ordering::Relaxed), 1);
+        assert!(a.stats.fragments_out.get() >= 3);
+        assert_eq!(b.stats.reassembled.get(), 1);
     }
 }

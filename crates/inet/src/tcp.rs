@@ -14,11 +14,11 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
+use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -179,19 +179,44 @@ pub(crate) struct ConnKey {
 }
 
 /// Aggregate TCP counters; the blind-retransmission numbers feed the
-/// IL-vs-TCP experiment.
-#[derive(Default)]
+/// IL-vs-TCP experiment. All live in the stack's netlog registry under
+/// `tcp.*` names.
 pub struct TcpStats {
     /// Segments sent (first transmissions).
-    pub tx_segments: AtomicU64,
+    pub tx_segments: Counter,
     /// Segments received and accepted.
-    pub rx_segments: AtomicU64,
+    pub rx_segments: Counter,
     /// Segments retransmitted blindly after a timeout.
-    pub retransmit_segments: AtomicU64,
+    pub retransmit_segments: Counter,
     /// Payload bytes retransmitted.
-    pub retransmit_bytes: AtomicU64,
+    pub retransmit_bytes: Counter,
     /// Fast retransmits triggered by triple duplicate acks.
-    pub fast_retransmits: AtomicU64,
+    pub fast_retransmits: Counter,
+}
+
+impl TcpStats {
+    fn new(netlog: &NetLog) -> TcpStats {
+        let reg = &netlog.registry;
+        TcpStats {
+            tx_segments: reg.counter("tcp.tx"),
+            rx_segments: reg.counter("tcp.rx"),
+            retransmit_segments: reg.counter("tcp.rexmit"),
+            retransmit_bytes: reg.counter("tcp.rexmitbytes"),
+            fast_retransmits: reg.counter("tcp.fastrexmit"),
+        }
+    }
+
+    /// Renders the counters as `key: value` lines for a `stats` file.
+    pub fn render(&self) -> String {
+        format!(
+            "tcpTx: {}\ntcpRx: {}\ntcpRexmit: {}\ntcpRexmitBytes: {}\ntcpFastRexmit: {}\n",
+            self.tx_segments.get(),
+            self.rx_segments.get(),
+            self.retransmit_segments.get(),
+            self.retransmit_bytes.get(),
+            self.fast_retransmits.get()
+        )
+    }
 }
 
 /// The per-stack TCP state.
@@ -201,6 +226,8 @@ pub struct TcpModule {
     ports: PortSpace,
     /// Aggregate counters.
     pub stats: TcpStats,
+    /// The stack's instrumentation block, for retransmission events.
+    netlog: Arc<NetLog>,
 }
 
 struct ListenerShared {
@@ -301,12 +328,13 @@ pub struct TcpConn {
 }
 
 impl TcpModule {
-    pub(crate) fn new() -> TcpModule {
+    pub(crate) fn new(netlog: &Arc<NetLog>) -> TcpModule {
         TcpModule {
             conns: Mutex::new(HashMap::new()),
             listeners: Mutex::new(HashMap::new()),
             ports: PortSpace::new(),
-            stats: TcpStats::default(),
+            stats: TcpStats::new(netlog),
+            netlog: Arc::clone(netlog),
         }
     }
 
@@ -403,7 +431,7 @@ impl TcpModule {
         let Some(seg) = decode_segment(data) else {
             return;
         };
-        stack.tcp.stats.rx_segments.fetch_add(1, Ordering::Relaxed);
+        stack.tcp.stats.rx_segments.inc();
         let key = ConnKey {
             lport: seg.dport,
             raddr: src,
@@ -625,7 +653,7 @@ impl TcpConn {
             window,
             payload: payload.to_vec(),
         };
-        stack.tcp.stats.tx_segments.fetch_add(1, Ordering::Relaxed);
+        stack.tcp.stats.tx_segments.inc();
         stack.send(self.key.raddr, TCP_PROTO, &encode_segment(&seg))
     }
 
@@ -903,16 +931,12 @@ impl TcpConn {
             if !actions.is_empty() {
                 if let Some(stack) = self.stack.upgrade() {
                     let bytes: usize = actions.iter().map(|a| a.3.len()).sum();
-                    stack
-                        .tcp
-                        .stats
-                        .retransmit_segments
-                        .fetch_add(actions.len() as u64, Ordering::Relaxed);
-                    stack
-                        .tcp
-                        .stats
-                        .retransmit_bytes
-                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                    stack.tcp.stats.retransmit_segments.add(actions.len() as u64);
+                    stack.tcp.stats.retransmit_bytes.add(bytes as u64);
+                    let n = actions.len();
+                    stack.tcp.netlog.events.log(Facility::Tcp, || {
+                        format!("timeout rexmit {n} segments {bytes} bytes")
+                    });
                 } else {
                     break;
                 }
@@ -991,21 +1015,13 @@ impl TcpConn {
                             inner.rtt_probe = None;
                             drop(inner);
                             if let Some(stack) = self.stack.upgrade() {
-                                stack
-                                    .tcp
-                                    .stats
-                                    .fast_retransmits
-                                    .fetch_add(1, Ordering::Relaxed);
-                                stack
-                                    .tcp
-                                    .stats
-                                    .retransmit_segments
-                                    .fetch_add(1, Ordering::Relaxed);
-                                stack
-                                    .tcp
-                                    .stats
-                                    .retransmit_bytes
-                                    .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                                stack.tcp.stats.fast_retransmits.inc();
+                                stack.tcp.stats.retransmit_segments.inc();
+                                stack.tcp.stats.retransmit_bytes.add(chunk.len() as u64);
+                                let len = chunk.len();
+                                stack.tcp.netlog.events.log(Facility::Tcp, || {
+                                    format!("fast rexmit seq {seq} len {len}")
+                                });
                             }
                             if !chunk.is_empty() {
                                 let _ = self.transmit_flags(ACK | PSH, seq, ack, &chunk);
@@ -1309,7 +1325,7 @@ mod tests {
         assert_eq!(got, expect);
         // Loss must have forced blind retransmissions.
         assert!(
-            a.tcp_module().stats.retransmit_segments.load(Ordering::Relaxed) > 0,
+            a.tcp_module().stats.retransmit_segments.get() > 0,
             "expected retransmissions under 15% loss"
         );
     }
@@ -1367,7 +1383,7 @@ mod tests {
             });
         }
         assert_eq!(
-            a.tcp_module().stats.fast_retransmits.load(Ordering::Relaxed),
+            a.tcp_module().stats.fast_retransmits.get(),
             1
         );
         // The congestion window collapsed to ssthresh + 3 MSS.
@@ -1391,13 +1407,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(600));
         let inner = conn.inner.lock();
         assert_eq!(inner.cwnd, inner.mss as u32, "timeout resets to 1 MSS");
-        assert!(
-            a.tcp_module()
-                .stats
-                .retransmit_segments
-                .load(Ordering::Relaxed)
-                > 0
-        );
+        assert!(a.tcp_module().stats.retransmit_segments.get() > 0);
     }
 
     #[test]

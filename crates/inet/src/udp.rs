@@ -6,6 +6,7 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
+use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::Mutex;
 use plan9_ninep::NineError;
@@ -30,16 +31,35 @@ pub struct UdpModule {
     binds: Mutex<HashMap<u16, Sender<Datagram>>>,
     ports: PortSpace,
     /// Datagrams dropped because no socket was bound.
-    pub unreachable: std::sync::atomic::AtomicU64,
+    pub unreachable: Counter,
+    /// Datagrams dropped for a bad length or checksum.
+    pub csum_errors: Counter,
+    /// Datagrams dropped because the socket queue was full.
+    pub queue_drops: Counter,
+    netlog: Arc<NetLog>,
 }
 
 impl UdpModule {
-    pub(crate) fn new() -> UdpModule {
+    pub(crate) fn new(netlog: &Arc<NetLog>) -> UdpModule {
+        let reg = &netlog.registry;
         UdpModule {
             binds: Mutex::new(HashMap::new()),
             ports: PortSpace::new(),
-            unreachable: std::sync::atomic::AtomicU64::new(0),
+            unreachable: reg.counter("udp.unreachable"),
+            csum_errors: reg.counter("udp.csumerr"),
+            queue_drops: reg.counter("udp.queuedrops"),
+            netlog: Arc::clone(netlog),
         }
+    }
+
+    /// Renders the counters as `key: value` lines for a `stats` file.
+    pub fn render_stats(&self) -> String {
+        format!(
+            "udpUnreachable: {}\nudpCsumErr: {}\nudpQueueDrops: {}\n",
+            self.unreachable.get(),
+            self.csum_errors.get(),
+            self.queue_drops.get()
+        )
     }
 
     /// Binds a socket on `port` (0 = ephemeral).
@@ -60,19 +80,27 @@ impl UdpModule {
 
     pub(crate) fn input(stack: &Arc<IpStack>, src: IpAddr, datagram: &[u8]) {
         let Some((sport, dport, payload)) = decode_udp(datagram) else {
+            stack.udp.csum_errors.inc();
+            stack
+                .udp
+                .netlog
+                .events
+                .log(Facility::Udp, || format!("csum error from {src}"));
             return;
         };
         let binds = stack.udp.binds.lock();
         match binds.get(&dport) {
             Some(tx) => {
                 // try_send: a full queue drops the datagram, which UDP may.
-                let _ = tx.try_send((src, sport, payload.to_vec()));
+                if tx.try_send((src, sport, payload.to_vec())).is_err() {
+                    stack.udp.queue_drops.inc();
+                }
             }
             None => {
-                stack
-                    .udp
-                    .unreachable
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stack.udp.unreachable.inc();
+                stack.udp.netlog.events.log(Facility::Udp, || {
+                    format!("unreachable port {dport} from {src}")
+                });
             }
         }
     }
@@ -210,9 +238,6 @@ mod tests {
         sa.send_to(b.addr(), 4444, b"void").unwrap();
         // Give the receiver a moment.
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(
-            b.udp.unreachable.load(std::sync::atomic::Ordering::Relaxed),
-            1
-        );
+        assert_eq!(b.udp.unreachable.get(), 1);
     }
 }

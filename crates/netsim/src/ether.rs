@@ -128,6 +128,11 @@ impl EtherSegment {
         self.medium.profile().mtu
     }
 
+    /// The shared medium under this segment (for its frame counters).
+    pub fn medium(&self) -> &Arc<Medium> {
+        &self.medium
+    }
+
     /// Transmits raw frame bytes from `from`, delivering a copy to every
     /// *other* station (bus semantics; controllers do not hear their own
     /// transmissions).
@@ -216,6 +221,11 @@ impl EtherStation {
     /// The maximum payload this station can send.
     pub fn payload_mtu(&self) -> usize {
         self.segment.mtu() - ETHER_HDR
+    }
+
+    /// The segment's shared medium (for its frame counters).
+    pub fn medium(&self) -> &Arc<Medium> {
+        self.segment.medium()
     }
 }
 

@@ -40,7 +40,7 @@ pub use fabric::{Circuit, DatakitLine, DatakitSwitch, IncomingCall};
 pub use pipe::{pipe_pair, PipeEnd};
 pub use profile::{LinkProfile, Profiles};
 pub use uart::{uart_pair, UartEnd};
-pub use wire::{wire_pair, RecvOutcome, WireRx, WireTx};
+pub use wire::{wire_pair, Medium, RecvOutcome, WireRx, WireStats, WireTx};
 
 /// Errors from the simulation layer.
 pub type SimError = String;

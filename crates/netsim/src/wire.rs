@@ -7,6 +7,7 @@
 //! are applied in flight.
 
 use crate::profile::LinkProfile;
+use plan9_netlog::Counter;
 use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plan9_support::sync::Mutex;
 use plan9_support::rng::SmallRng;
@@ -19,6 +20,50 @@ struct InFlight {
     frame: Vec<u8>,
 }
 
+/// Ground-truth frame accounting for one medium, maintained inside
+/// `impair` itself so the identity
+/// `delivered == sent − dropped + duplicated` holds by construction.
+pub struct WireStats {
+    /// Frames handed to the medium.
+    pub sent: Counter,
+    /// Frame copies actually put in flight.
+    pub delivered: Counter,
+    /// Frames dropped by the loss roll.
+    pub dropped: Counter,
+    /// Extra copies created by the duplication roll.
+    pub duplicated: Counter,
+    /// Frames with a byte flipped by the corruption roll.
+    pub corrupted: Counter,
+    /// Frames delayed past their successors by the reorder roll.
+    pub reordered: Counter,
+}
+
+impl WireStats {
+    fn new() -> WireStats {
+        WireStats {
+            sent: Counter::new("sent"),
+            delivered: Counter::new("delivered"),
+            dropped: Counter::new("dropped"),
+            duplicated: Counter::new("duplicated"),
+            corrupted: Counter::new("corrupted"),
+            reordered: Counter::new("reordered"),
+        }
+    }
+
+    /// Renders the counters as the paper's `key: value` ASCII lines.
+    pub fn render(&self) -> String {
+        format!(
+            "sent: {}\ndelivered: {}\ndropped: {}\nduplicated: {}\ncorrupted: {}\nreordered: {}\n",
+            self.sent.get(),
+            self.delivered.get(),
+            self.dropped.get(),
+            self.duplicated.get(),
+            self.corrupted.get(),
+            self.reordered.get()
+        )
+    }
+}
+
 /// The shared line state (the "medium"): who is transmitting and until
 /// when. Several senders may share one medium (an Ethernet segment); the
 /// lock serializes them exactly as a bus does.
@@ -26,6 +71,7 @@ pub struct Medium {
     profile: LinkProfile,
     busy_until: Mutex<Instant>,
     rng: Mutex<SmallRng>,
+    stats: WireStats,
 }
 
 impl Medium {
@@ -35,12 +81,18 @@ impl Medium {
             profile,
             busy_until: Mutex::new(Instant::now()),
             rng: Mutex::new(SmallRng::seed_from_u64(0x9fc0de)),
+            stats: WireStats::new(),
         })
     }
 
     /// The profile this medium was built with.
     pub fn profile(&self) -> &LinkProfile {
         &self.profile
+    }
+
+    /// The medium's frame counters.
+    pub fn stats(&self) -> &WireStats {
+        &self.stats
     }
 
     /// Acquires the line for `len` payload bytes and returns the instant
@@ -69,23 +121,47 @@ impl Medium {
     /// delay for reordering.
     pub(crate) fn impair(&self, frame: &mut Vec<u8>) -> (usize, Duration) {
         let p = &self.profile;
+        self.stats.sent.inc();
         if p.loss == 0.0 && p.dup == 0.0 && p.corrupt == 0.0 && p.reorder == 0.0 {
+            self.stats.delivered.inc();
             return (1, Duration::ZERO);
         }
-        let mut rng = self.rng.lock();
-        if p.loss > 0.0 && rng.gen_bool(p.loss.min(1.0)) {
+        // Roll every enabled impairment before applying any outcome: a
+        // frame the loss roll drops must not consume the corrupt, dup
+        // or reorder draws, or toggling one profile knob would
+        // reshuffle every later decision of a seeded run.
+        let (lost, corrupt_idx, dup, reorder) = {
+            let mut rng = self.rng.lock();
+            let lost = p.loss > 0.0 && rng.gen_bool(p.loss.min(1.0));
+            let corrupt_idx = if p.corrupt > 0.0
+                && rng.gen_bool(p.corrupt.min(1.0))
+                && !frame.is_empty()
+            {
+                Some(rng.gen_range(0..frame.len()))
+            } else {
+                None
+            };
+            let dup = p.dup > 0.0 && rng.gen_bool(p.dup.min(1.0));
+            let reorder = p.reorder > 0.0 && rng.gen_bool(p.reorder.min(1.0));
+            (lost, corrupt_idx, dup, reorder)
+        };
+        if lost {
+            self.stats.dropped.inc();
             return (0, Duration::ZERO);
         }
-        if p.corrupt > 0.0 && rng.gen_bool(p.corrupt.min(1.0)) && !frame.is_empty() {
-            let idx = rng.gen_range(0..frame.len());
+        if let Some(idx) = corrupt_idx {
             frame[idx] ^= 0xff;
+            self.stats.corrupted.inc();
         }
-        let copies = if p.dup > 0.0 && rng.gen_bool(p.dup.min(1.0)) {
+        let copies = if dup {
+            self.stats.duplicated.inc();
             2
         } else {
             1
         };
-        let extra = if p.reorder > 0.0 && rng.gen_bool(p.reorder.min(1.0)) {
+        self.stats.delivered.add(copies as u64);
+        let extra = if reorder {
+            self.stats.reordered.inc();
             // Delay long enough to land behind the next frame or two.
             p.tx_time(p.mtu) * 3 + p.propagation
         } else {
@@ -322,6 +398,60 @@ mod tests {
         let got = rx.recv().unwrap();
         assert_eq!(got.len(), 7);
         assert_ne!(got, b"fragile");
+    }
+
+    #[test]
+    fn stats_identity_holds_per_wire() {
+        let profile = Profiles::ether_fast().with_loss(0.3).with_dup(0.2);
+        let (tx, mut rx) = wire_pair(profile);
+        for _ in 0..200 {
+            tx.send(b"frame").unwrap();
+        }
+        let s = tx.medium().stats();
+        assert_eq!(s.sent.get(), 200);
+        assert_eq!(
+            s.delivered.get(),
+            s.sent.get() - s.dropped.get() + s.duplicated.get(),
+            "delivered == sent - dropped + duplicated"
+        );
+        // Every delivered copy is sitting in the channel.
+        let mut got = 0u64;
+        while rx.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, s.delivered.get());
+    }
+
+    #[test]
+    fn loss_roll_does_not_consume_other_draws() {
+        // Two runs from the same seed differing only in the loss
+        // probability. Each enabled impairment rolls exactly once per
+        // frame, so frame i's corruption decision is the same in both
+        // runs; check it on every frame that survives both.
+        let run = |loss: f64| -> Vec<Option<bool>> {
+            let medium = Medium::new(Profiles::ether_fast().with_loss(loss).with_corrupt(0.5));
+            (0..200)
+                .map(|_| {
+                    let mut f = b"abcdefgh".to_vec();
+                    let (copies, _) = medium.impair(&mut f);
+                    if copies == 0 {
+                        None
+                    } else {
+                        Some(f != b"abcdefgh".to_vec())
+                    }
+                })
+                .collect()
+        };
+        let light = run(0.1);
+        let heavy = run(0.6);
+        let mut compared = 0;
+        for i in 0..200 {
+            if let (Some(a), Some(b)) = (light[i], heavy[i]) {
+                assert_eq!(a, b, "frame {i}: corrupt decision changed with the loss knob");
+                compared += 1;
+            }
+        }
+        assert!(compared > 20, "expected surviving overlap, got {compared}");
     }
 
     #[test]

@@ -12,11 +12,13 @@ use crate::procfs::OpenMode;
 use crate::qid::Qid;
 use crate::transport::{MsgSink, MsgSource};
 use crate::{errstr, Dir, NineError, Result};
+use plan9_netlog::{Counter, Histogram};
 use plan9_support::chan::{bounded, Sender};
 use plan9_support::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 struct ClientShared {
     pending: Mutex<HashMap<Tag, Sender<Rmsg>>>,
@@ -24,6 +26,10 @@ struct ClientShared {
     next_tag: AtomicU16,
     next_fid: AtomicU16,
     hungup: AtomicBool,
+    /// Completed RPC round trips.
+    rpcs: Counter,
+    /// Round-trip latency, send to matched reply.
+    rpc_time: Histogram,
 }
 
 /// A 9P RPC client over a delimited transport.
@@ -45,6 +51,8 @@ impl NineClient {
             next_tag: AtomicU16::new(0),
             next_fid: AtomicU16::new(0),
             hungup: AtomicBool::new(false),
+            rpcs: Counter::new("9p.rpc"),
+            rpc_time: Histogram::new("9p.rpctime"),
         });
         let demux = Arc::clone(&shared);
         std::thread::spawn(move || loop {
@@ -79,6 +87,19 @@ impl NineClient {
         self.shared.hungup.load(Ordering::SeqCst)
     }
 
+    /// Completed RPC round trips on this connection.
+    pub fn rpc_count(&self) -> u64 {
+        self.shared.rpcs.get()
+    }
+
+    /// Renders the RPC counter and latency histogram as `key: value`
+    /// lines for a `stats` file.
+    pub fn stats_text(&self) -> String {
+        let mut s = format!("rpc: {}\n", self.shared.rpcs.get());
+        s.push_str(&self.shared.rpc_time.render());
+        s
+    }
+
     /// Allocates a fresh fid. The caller owns it until clunked.
     pub fn alloc_fid(&self) -> Fid {
         loop {
@@ -109,6 +130,7 @@ impl NineClient {
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(tag, tx);
         let buf = encode_tmsg(tag, t);
+        let started = Instant::now();
         if let Err(e) = self.shared.sink.lock().sendmsg(&buf) {
             self.shared.pending.lock().remove(&tag);
             return Err(e);
@@ -116,6 +138,8 @@ impl NineClient {
         let r = rx
             .recv()
             .map_err(|_| NineError::new(errstr::EHUNGUP))?;
+        self.shared.rpcs.inc();
+        self.shared.rpc_time.record(started.elapsed());
         match r {
             Rmsg::Error { ename } => Err(NineError(ename)),
             ok if ok.answers(t) => Ok(ok),

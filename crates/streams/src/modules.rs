@@ -7,8 +7,8 @@
 use crate::block::{Block, BlockKind};
 use crate::module::{ModuleCtx, StreamModule};
 use crate::Result;
+use plan9_netlog::Counter;
 use plan9_support::sync::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A snooping module: counts and optionally copies traffic in both
@@ -16,13 +16,13 @@ use std::sync::Arc;
 /// snooping software" of the LANCE driver (§2.2).
 pub struct Snoop {
     /// Blocks seen moving downstream.
-    pub down_blocks: AtomicU64,
+    pub down_blocks: Counter,
     /// Bytes seen moving downstream.
-    pub down_bytes: AtomicU64,
+    pub down_bytes: Counter,
     /// Blocks seen moving upstream.
-    pub up_blocks: AtomicU64,
+    pub up_blocks: Counter,
     /// Bytes seen moving upstream.
-    pub up_bytes: AtomicU64,
+    pub up_bytes: Counter,
     /// When set, a copy of every data block is delivered here.
     tap: Mutex<Option<Box<dyn Fn(Block) + Send + Sync>>>,
 }
@@ -31,10 +31,10 @@ impl Snoop {
     /// Creates a counting snoop with no tap.
     pub fn new() -> Arc<Snoop> {
         Arc::new(Snoop {
-            down_blocks: AtomicU64::new(0),
-            down_bytes: AtomicU64::new(0),
-            up_blocks: AtomicU64::new(0),
-            up_bytes: AtomicU64::new(0),
+            down_blocks: Counter::new("snoop.downblocks"),
+            down_bytes: Counter::new("snoop.downbytes"),
+            up_blocks: Counter::new("snoop.upblocks"),
+            up_bytes: Counter::new("snoop.upbytes"),
             tap: Mutex::new(None),
         })
     }
@@ -52,11 +52,11 @@ impl Snoop {
             return;
         }
         if up {
-            self.up_blocks.fetch_add(1, Ordering::Relaxed);
-            self.up_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+            self.up_blocks.inc();
+            self.up_bytes.add(b.len() as u64);
         } else {
-            self.down_blocks.fetch_add(1, Ordering::Relaxed);
-            self.down_bytes.fetch_add(b.len() as u64, Ordering::Relaxed);
+            self.down_blocks.inc();
+            self.down_bytes.add(b.len() as u64);
         }
         if let Some(tap) = &*self.tap.lock() {
             tap(b.clone());
@@ -67,10 +67,10 @@ impl Snoop {
     pub fn stats(&self) -> String {
         format!(
             "in: blocks {} bytes {}\nout: blocks {} bytes {}\n",
-            self.up_blocks.load(Ordering::Relaxed),
-            self.up_bytes.load(Ordering::Relaxed),
-            self.down_blocks.load(Ordering::Relaxed),
-            self.down_bytes.load(Ordering::Relaxed),
+            self.up_blocks.get(),
+            self.up_bytes.get(),
+            self.down_blocks.get(),
+            self.down_bytes.get(),
         )
     }
 }
@@ -281,8 +281,8 @@ mod tests {
         s.push_module(Arc::clone(&snoop) as Arc<dyn StreamModule>);
         s.write(b"12345").unwrap();
         let _ = s.read(100).unwrap();
-        assert_eq!(snoop.down_bytes.load(Ordering::Relaxed), 5);
-        assert_eq!(snoop.up_bytes.load(Ordering::Relaxed), 5);
+        assert_eq!(snoop.down_bytes.get(), 5);
+        assert_eq!(snoop.up_bytes.get(), 5);
         assert!(snoop.stats().contains("in: blocks 1 bytes 5"));
     }
 

@@ -10,6 +10,7 @@
 //! limits play in the Plan 9 kernel.
 
 use crate::block::{Block, BlockKind};
+use plan9_netlog::Counter;
 use plan9_support::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -31,6 +32,10 @@ pub struct Queue {
     readable: Condvar,
     writable: Condvar,
     limit: usize,
+    /// Blocks ever queued through `put`.
+    puts: Counter,
+    /// Times a `put` had to wait on flow control.
+    stalls: Counter,
 }
 
 impl Default for Queue {
@@ -52,7 +57,19 @@ impl Queue {
             readable: Condvar::new(),
             writable: Condvar::new(),
             limit,
+            puts: Counter::new("queue.puts"),
+            stalls: Counter::new("queue.stalls"),
         }
+    }
+
+    /// Blocks ever queued through [`Queue::put`].
+    pub fn put_count(&self) -> u64 {
+        self.puts.get()
+    }
+
+    /// Times a putter had to wait on flow control.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls.get()
     }
 
     /// Appends a block, waiting while the queue is over its limit.
@@ -63,6 +80,9 @@ impl Queue {
     pub fn put(&self, b: Block) -> crate::Result<()> {
         let mut inner = self.inner.lock();
         if b.kind == BlockKind::Data {
+            if inner.bytes >= self.limit && !inner.closed {
+                self.stalls.inc();
+            }
             while inner.bytes >= self.limit && !inner.closed {
                 self.writable.wait(&mut inner);
             }
@@ -73,6 +93,7 @@ impl Queue {
         if b.kind == BlockKind::Hangup {
             inner.hungup = true;
         }
+        self.puts.inc();
         inner.bytes += b.len();
         inner.blocks.push_back(b);
         self.readable.notify_all();
@@ -219,6 +240,19 @@ mod tests {
         q.get().unwrap();
         let unblocked_at = t.join().unwrap();
         assert!(unblocked_at.duration_since(start) >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn counters_track_puts_and_stalls() {
+        let q = Arc::new(Queue::new(10));
+        q.put(Block::data(vec![0; 10])).unwrap();
+        assert_eq!((q.put_count(), q.stall_count()), (1, 0));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.put(Block::data(vec![1; 5])).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        q.get().unwrap();
+        t.join().unwrap();
+        assert_eq!((q.put_count(), q.stall_count()), (2, 1));
     }
 
     #[test]

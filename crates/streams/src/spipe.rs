@@ -110,9 +110,8 @@ mod tests {
         let _ = b.read(100).unwrap();
         b.write(b"also counted upstream").unwrap();
         let _ = a.read(100).unwrap();
-        use std::sync::atomic::Ordering;
-        assert_eq!(snoop.down_blocks.load(Ordering::Relaxed), 1);
-        assert_eq!(snoop.up_blocks.load(Ordering::Relaxed), 1);
+        assert_eq!(snoop.down_blocks.get(), 1);
+        assert_eq!(snoop.up_blocks.get(), 1);
     }
 
     #[test]

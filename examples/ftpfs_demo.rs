@@ -16,7 +16,6 @@ use plan9::netsim::ether::EtherSegment;
 use plan9::netsim::profile::Profiles;
 use plan9::ninep::procfs::{OpenMode, ProcFs};
 use std::sync::Arc;
-use std::sync::atomic::Ordering;
 
 fn main() {
     let seg = EtherSegment::new(Profiles::ether_fast());
@@ -63,11 +62,11 @@ fn main() {
     p.close(fd);
 
     // Second read comes from the cache: round trips must not grow.
-    let before = ftpfs.round_trips.load(Ordering::Relaxed);
+    let before = ftpfs.round_trips.get();
     let fd = p.open("/n/ftp/pub/README", OpenMode::READ).expect("open");
     let _ = p.read_string(fd).expect("read");
     p.close(fd);
-    let after = ftpfs.round_trips.load(Ordering::Relaxed);
+    let after = ftpfs.round_trips.get();
     println!("(second cat used the cache: {before} -> {after} round trips)");
     assert_eq!(before, after);
 

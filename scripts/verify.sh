@@ -14,7 +14,16 @@ if grep -rn 'crossbeam\|parking_lot\|proptest\|criterion\|^rand\|^bytes' \
     exit 1
 fi
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline
 
-echo "verify: OK (hermetic build + tests)"
+# The paper's flagship listings must run end to end, still offline.
+for ex in quickstart csquery netstat; do
+    cargo run --release --offline --example "$ex" >/dev/null
+done
+
+# §3 size claim: IL must stay smaller than TCP (the binary asserts
+# il.rs non-test LoC < tcp.rs non-test LoC and exits nonzero if not).
+cargo run --release --offline -p plan9-bench --bin loc >/dev/null
+
+echo "verify: OK (hermetic build + tests + examples + LoC gate)"

@@ -10,6 +10,7 @@ pub use plan9_datakit as datakit;
 pub use plan9_exportfs as exportfs;
 pub use plan9_inet as inet;
 pub use plan9_ndb as ndb;
+pub use plan9_netlog as netlog;
 pub use plan9_netsim as netsim;
 pub use plan9_ninep as ninep;
 pub use plan9_streams as streams;

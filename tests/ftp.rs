@@ -9,7 +9,6 @@ use plan9::inet::ip::IpConfig;
 use plan9::netsim::ether::EtherSegment;
 use plan9::netsim::profile::Profiles;
 use plan9::ninep::procfs::{OpenMode, ProcFs};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 fn world() -> (Arc<Machine>, Arc<Machine>, Arc<FtpServer>) {
@@ -64,13 +63,13 @@ fn reads_are_cached() {
     let fd = p.open("/n/ftp/pub/README", OpenMode::READ).unwrap();
     let _ = p.read_string(fd).unwrap();
     p.close(fd);
-    let before = fs.round_trips.load(Ordering::Relaxed);
+    let before = fs.round_trips.get();
     for _ in 0..5 {
         let fd = p.open("/n/ftp/pub/README", OpenMode::READ).unwrap();
         assert_eq!(p.read_string(fd).unwrap(), "hello ftp");
         p.close(fd);
     }
-    assert_eq!(fs.round_trips.load(Ordering::Relaxed), before);
+    assert_eq!(fs.round_trips.get(), before);
 }
 
 #[test]
