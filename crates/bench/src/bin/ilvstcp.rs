@@ -1,22 +1,36 @@
 //! The §3 design argument, measured: IL's query-based recovery against
-//! TCP's blind retransmission, under increasing loss.
+//! TCP's blind retransmission, under increasing loss — plus a 9P RPC
+//! loop over IL that prices the nettrace instrumentation.
 //!
 //! "In contrast to other protocols, IL does not do blind retransmission.
 //! If a message is lost and a timeout occurs, a query message is sent.
 //! ... This allows the protocol to behave well in congested networks,
 //! where blind retransmission would cause further congestion."
 //!
-//! The experiment moves the same payload over the same (unpaced, lossy)
+//! The sweep moves the same payload over the same (unpaced, lossy)
 //! Ethernet with both protocols and reports how many payload bytes each
 //! had to re-send. TCP's go-back-N resends everything from the last
 //! acknowledged byte; IL's State replies let it resend only what was
 //! actually lost.
 //!
+//! The RPC loop serves a file tree over an IL conversation and reads
+//! one file as fast as 9P will go: twice with tracing off (the A/B
+//! noise gauge — the recorder must cost nothing when disabled) and once
+//! with tracing on, from which the per-layer span totals come.
+//!
+//! Results land in `BENCH_ilvstcp.json` at the repository root.
+//!
 //! Usage: `cargo run -p plan9-bench --release --bin ilvstcp`
 
+use plan9_inet::il::IlConn;
 use plan9_inet::ip::{IpConfig, IpStack};
+use plan9_netlog::trace;
 use plan9_netsim::ether::EtherSegment;
 use plan9_netsim::profile::Profiles;
+use plan9_ninep::client::NineClient;
+use plan9_ninep::procfs::{MemFs, OpenMode, ProcFs};
+use plan9_ninep::transport::{MsgSink, MsgSource};
+use plan9_support::json::quote;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -93,6 +107,63 @@ fn run_tcp(loss: f64, salt: u8) -> (f64, u64, u64) {
     )
 }
 
+/// An IL conversation as a delimited 9P transport.
+#[derive(Clone)]
+struct IlIo(Arc<IlConn>);
+
+impl MsgSink for IlIo {
+    fn sendmsg(&mut self, msg: &[u8]) -> plan9_ninep::Result<()> {
+        self.0.send(msg)
+    }
+}
+
+impl MsgSource for IlIo {
+    fn recvmsg(&mut self) -> plan9_ninep::Result<Option<Vec<u8>>> {
+        self.0.recv()
+    }
+}
+
+/// Runs `rpcs` 9P read RPCs over a clean IL conversation; returns
+/// RPCs per second.
+fn run_rpc_loop(salt: u8, rpcs: usize) -> f64 {
+    let (a, b) = hosts(0.0, salt);
+    let listener = b.il_module().listen(&b, 17010).expect("listen");
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().expect("accept");
+        let fs = MemFs::new("ram", "bootes");
+        fs.put_file("/blob", &[0x42u8; 512]).expect("seed");
+        let fs: Arc<dyn ProcFs> = fs;
+        let io = IlIo(conn);
+        let _ = plan9_ninep::server::serve(fs, Box::new(io.clone()), Box::new(io));
+    });
+    let conn = a.il_module().connect(&a, b.addr(), 17010).expect("connect");
+    let io = IlIo(Arc::clone(&conn));
+    let client = NineClient::new(Box::new(io.clone()), Box::new(io));
+    let (fid, _) = client.attach("bench", "").expect("attach");
+    client.walk(fid, "blob").expect("walk");
+    client.open(fid, OpenMode::READ).expect("open");
+    // Warm the path (thread scheduling, lazy allocations) before timing.
+    for _ in 0..500 {
+        client.read(fid, 0, 512).expect("warmup read");
+    }
+    let start = Instant::now();
+    for _ in 0..rpcs {
+        let d = client.read(fid, 0, 512).expect("read");
+        assert_eq!(d.len(), 512);
+    }
+    let rps = rpcs as f64 / start.elapsed().as_secs_f64();
+    let _ = client.clunk(fid);
+    conn.close();
+    let _ = server.join();
+    rps
+}
+
+fn layer_of(name: &str) -> Option<&'static str> {
+    ["marshal", "txwait", "devwrite", "il send", "ip tx", "wire tx", "queue", "reply", "handle"]
+        .into_iter()
+        .find(|l| name.starts_with(l))
+}
+
 fn main() {
     println!("IL vs TCP under loss — 1 MiB transfer, unpaced Ethernet");
     println!(
@@ -101,6 +172,7 @@ fn main() {
     );
     println!("{}", "-".repeat(80));
     let mut salt = 0u8;
+    let mut sweep_rows = Vec::new();
     for loss in [0.0, 0.01, 0.03, 0.05, 0.10] {
         let (il_s, il_rexmit, il_q) = run_il(loss, salt);
         salt += 1;
@@ -116,6 +188,11 @@ fn main() {
             tcp_rexmit,
             tcp_seg
         );
+        sweep_rows.push(format!(
+            "{{\"loss\": {loss}, \"il_s\": {il_s:.4}, \"il_rexmit_bytes\": {il_rexmit}, \
+             \"il_queries\": {il_q}, \"tcp_s\": {tcp_s:.4}, \"tcp_rexmit_bytes\": {tcp_rexmit}, \
+             \"tcp_rexmit_segments\": {tcp_seg}}}"
+        ));
         if loss >= 0.05 {
             // The §3 claim: blind retransmission resends far more than
             // query-repair under meaningful loss.
@@ -125,6 +202,63 @@ fn main() {
             );
         }
     }
+
+    // The 9P-over-IL RPC loop: off, off again (A/B), then on.
+    let tracer = trace::global();
+    assert!(!tracer.enabled(), "tracing must default to off");
     println!();
+    println!("9P RPC loop over IL (512-byte reads):");
+    let rpcs_off = 3000;
+    let rps_off_a = run_rpc_loop(20, rpcs_off);
+    let rps_off_b = run_rpc_loop(21, rpcs_off);
+    let ab_delta_pct = 100.0 * (rps_off_a - rps_off_b).abs() / rps_off_a.max(rps_off_b);
+    println!("  trace off: {rps_off_a:>8.0} rpc/s (A) {rps_off_b:>8.0} rpc/s (B), |A-B| {ab_delta_pct:.2}%");
+
+    // The on leg is sized to fit the span ring so the totals cover it.
+    let rpcs_on = 1000;
+    tracer.ctl("clear").expect("clear");
+    tracer.ctl("trace on").expect("trace on");
+    let rps_on = run_rpc_loop(22, rpcs_on);
+    tracer.ctl("trace off").expect("trace off");
+    let roots = tracer.roots();
+    tracer.ctl("clear").expect("clear");
+    let on_overhead_pct =
+        100.0 * (rps_off_a.max(rps_off_b) - rps_on) / rps_off_a.max(rps_off_b);
+    println!("  trace on:  {rps_on:>8.0} rpc/s ({on_overhead_pct:.1}% slower, {} roots recorded)", roots.len());
+
+    // Per-layer span totals across every recorded root.
+    let mut layer_rows = Vec::new();
+    println!("  {:<10} {:>7} {:>12}", "layer", "spans", "total(us)");
+    for layer in ["marshal", "txwait", "devwrite", "il send", "ip tx", "wire tx", "queue", "reply", "handle"] {
+        let (count, total_us) = roots
+            .iter()
+            .flat_map(|r| r.spans.iter())
+            .filter(|s| layer_of(&s.name) == Some(layer))
+            .fold((0u64, 0u64), |(c, t), s| {
+                (c + 1, t + s.end_ns.saturating_sub(s.start_ns) / 1_000)
+            });
+        if count == 0 {
+            continue;
+        }
+        println!("  {layer:<10} {count:>7} {total_us:>12}");
+        layer_rows.push(format!(
+            "{{\"layer\": {}, \"spans\": {count}, \"total_us\": {total_us}}}",
+            quote(layer)
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ilvstcp\",\n  \"sweep\": [\n    {}\n  ],\n  \"rpc\": {{\n    \
+         \"rpcs_off\": {rpcs_off}, \"rpcs_on\": {rpcs_on},\n    \
+         \"rps_off_a\": {rps_off_a:.1}, \"rps_off_b\": {rps_off_b:.1}, \"rps_on\": {rps_on:.1},\n    \
+         \"off_ab_delta_pct\": {ab_delta_pct:.3}, \"on_overhead_pct\": {on_overhead_pct:.3},\n    \
+         \"layers\": [{}]\n  }}\n}}\n",
+        sweep_rows.join(",\n    "),
+        layer_rows.join(", "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ilvstcp.json");
+    std::fs::write(path, json).expect("write BENCH_ilvstcp.json");
+    println!();
+    println!("wrote BENCH_ilvstcp.json");
     println!("ilvstcp: OK (IL repairs precisely; TCP goes back and blasts)");
 }

@@ -10,9 +10,12 @@
 //! near the paper's; `fast` removes pacing and reports the raw speed of
 //! the protocol code on this machine. Pipes are always unpaced (they
 //! were memory-bound in 1993 too; only the absolute number moves).
+//!
+//! Results also land in `BENCH_table1.json` at the repository root.
 
 use plan9_bench::paths::*;
 use plan9_bench::{table_row, PAPER_TABLE1};
+use plan9_support::json::quote;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "fast");
@@ -93,6 +96,29 @@ fn main() {
         "latency ordering    pipes < Cyclone < IL/ether < URP/Datakit: {}",
         if lat_ok { "HOLDS" } else { "VIOLATED" }
     );
+
+    let rows: Vec<String> = results
+        .iter()
+        .zip(PAPER_TABLE1.iter())
+        .map(|((name, mbs, lat), (_, pmbs, pms))| {
+            format!(
+                "{{\"test\": {}, \"mbs\": {mbs:.3}, \"ms\": {lat:.4}, \
+                 \"paper_mbs\": {pmbs}, \"paper_ms\": {pms}}}",
+                quote(name)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"table1\",\n  \"profile\": {},\n  \"rows\": [\n    {}\n  ],\n  \
+         \"throughput_ordering_holds\": {order_ok},\n  \"latency_ordering_holds\": {lat_ok}\n}}\n",
+        quote(if fast { "fast" } else { "calibrated" }),
+        rows.join(",\n    "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_table1.json");
+    std::fs::write(path, json).expect("write BENCH_table1.json");
+    println!();
+    println!("wrote BENCH_table1.json");
+
     if !fast && (!order_ok || !lat_ok) {
         std::process::exit(1);
     }

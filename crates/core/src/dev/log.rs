@@ -189,7 +189,9 @@ mod tests {
     fn bad_requests_are_errors() {
         let (fs, _events) = served();
         let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
-        assert!(fs.write(&ctl, 0, b"set nosuch").is_err());
+        // The 9P error must name the offending facility, not just fail.
+        let err = fs.write(&ctl, 0, b"set nosuch").unwrap_err();
+        assert!(err.0.contains("nosuch"), "{err}");
         let data = walk_open(&fs, &["log", "data"], OpenMode::READ);
         assert!(fs.write(&data, 0, b"no").is_err());
     }

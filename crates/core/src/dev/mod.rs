@@ -12,6 +12,7 @@ pub mod info;
 pub mod log;
 pub mod pipedev;
 pub mod proto;
+pub mod trace;
 
 pub use eia::EiaDev;
 pub use info::{InfoFs, InfoGen};
@@ -19,3 +20,4 @@ pub use log::LogFs;
 pub use pipedev::PipeFs;
 pub use ether::EtherDev;
 pub use proto::{AnnounceOps, ConnOps, ProtoDev, ProtoOps};
+pub use trace::TraceFs;

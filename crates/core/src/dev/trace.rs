@@ -1,0 +1,211 @@
+//! The nettrace device: `/net/trace/{ctl,data}`.
+//!
+//! The flight recorder driven the Plan 9 way: ASCII strings to a ctl
+//! file (`trace on`, `filter il 9p`, `dump`, `clear`), completed root
+//! spans with their trees read back from the data file as ASCII lines.
+//! [`TraceFs`] is union-mounted under `/net` next to `/net/log`; every
+//! machine serves the process-wide recorder, the shared analyzer a
+//! trace that crosses machines needs.
+
+use plan9_netlog::trace::Tracer;
+use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
+use plan9_ninep::qid::Qid;
+use plan9_ninep::{errstr, Dir, NineError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// Qid paths: attach root = 0, the `trace` directory = 1, files above.
+const Q_ROOT: u32 = 0;
+const Q_TRACE: u32 = 1;
+const Q_CTL: u32 = 2;
+const Q_DATA: u32 = 3;
+
+/// Serves a directory `trace` containing `ctl` and `data` over a
+/// [`Tracer`].
+pub struct TraceFs {
+    tracer: Arc<Tracer>,
+    handles: AtomicU64,
+}
+
+impl TraceFs {
+    /// Wraps a flight recorder in the device tree.
+    pub fn new(tracer: Arc<Tracer>) -> Arc<TraceFs> {
+        Arc::new(TraceFs {
+            tracer,
+            handles: AtomicU64::new(1),
+        })
+    }
+
+    fn trace_entries(&self) -> Vec<Dir> {
+        vec![
+            Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0),
+            Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0),
+        ]
+    }
+
+    fn text_slice(s: String, offset: u64, count: usize) -> Vec<u8> {
+        let bytes = s.into_bytes();
+        let off = (offset as usize).min(bytes.len());
+        let end = (off + count).min(bytes.len());
+        bytes[off..end].to_vec()
+    }
+}
+
+impl ProcFs for TraceFs {
+    fn fsname(&self) -> String {
+        "nettrace".to_string()
+    }
+
+    fn attach(&self, _uname: &str, _aname: &str) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            Qid::dir(Q_ROOT, 0),
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn clone_node(&self, n: &ServeNode) -> Result<ServeNode> {
+        Ok(ServeNode::new(
+            n.qid,
+            self.handles.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn walk(&self, n: &ServeNode, name: &str) -> Result<ServeNode> {
+        match (n.qid.path_bits(), name) {
+            (Q_ROOT, "..") => Ok(*n),
+            (Q_ROOT, "trace") => Ok(ServeNode::new(Qid::dir(Q_TRACE, 0), n.handle)),
+            (Q_TRACE, "..") => Ok(ServeNode::new(Qid::dir(Q_ROOT, 0), n.handle)),
+            (Q_TRACE, "ctl") => Ok(ServeNode::new(Qid::file(Q_CTL, 0), n.handle)),
+            (Q_TRACE, "data") => Ok(ServeNode::new(Qid::file(Q_DATA, 0), n.handle)),
+            _ if !n.qid.is_dir() => Err(NineError::new(errstr::ENOTDIR)),
+            _ => Err(NineError::new(errstr::ENOTEXIST)),
+        }
+    }
+
+    fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
+        if n.qid.is_dir() && mode.access() != 0 {
+            return Err(NineError::new(errstr::EISDIR));
+        }
+        if n.qid.path_bits() == Q_DATA && mode.writable() {
+            return Err(NineError::new(errstr::EPERM));
+        }
+        Ok(*n)
+    }
+
+    fn read(&self, n: &ServeNode, offset: u64, count: usize) -> Result<Vec<u8>> {
+        match n.qid.path_bits() {
+            Q_ROOT => read_dir_slice(
+                &[Dir::directory("trace", Qid::dir(Q_TRACE, 0), 0o775, "network")],
+                offset,
+                count,
+            ),
+            Q_TRACE => read_dir_slice(&self.trace_entries(), offset, count),
+            // Reading ctl shows the switch and filter as replayable
+            // requests.
+            Q_CTL => Ok(Self::text_slice(self.tracer.status_line(), offset, count)),
+            Q_DATA => Ok(Self::text_slice(self.tracer.render(), offset, count)),
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+
+    fn write(&self, n: &ServeNode, _offset: u64, data: &[u8]) -> Result<usize> {
+        if n.qid.path_bits() != Q_CTL {
+            return Err(NineError::new(errstr::EPERM));
+        }
+        let req = std::str::from_utf8(data)
+            .map_err(|_| NineError::new("control request is not text"))?;
+        self.tracer.ctl(req).map_err(NineError::new)?;
+        Ok(data.len())
+    }
+
+    fn clunk(&self, _n: &ServeNode) {}
+
+    fn stat(&self, n: &ServeNode) -> Result<Dir> {
+        match n.qid.path_bits() {
+            Q_ROOT => Ok(Dir::directory("/", Qid::dir(Q_ROOT, 0), 0o775, "network")),
+            Q_TRACE => Ok(Dir::directory(
+                "trace",
+                Qid::dir(Q_TRACE, 0),
+                0o775,
+                "network",
+            )),
+            Q_CTL => Ok(Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0)),
+            Q_DATA => Ok(Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0)),
+            _ => Err(NineError::new(errstr::EBADUSE)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plan9_netlog::Facility;
+    use std::time::Instant;
+
+    fn served() -> (Arc<TraceFs>, Arc<Tracer>) {
+        let tracer = Tracer::new(16);
+        (TraceFs::new(Arc::clone(&tracer)), tracer)
+    }
+
+    fn walk_open(fs: &Arc<TraceFs>, path: &[&str], mode: OpenMode) -> ServeNode {
+        let mut n = fs.attach("u", "").unwrap();
+        for elem in path {
+            n = fs.walk(&n, elem).unwrap();
+        }
+        fs.open(&n, mode).unwrap()
+    }
+
+    #[test]
+    fn ctl_toggles_and_reads_back() {
+        let (fs, tracer) = served();
+        let ctl = walk_open(&fs, &["trace", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"trace on").unwrap();
+        assert!(tracer.enabled());
+        fs.write(&ctl, 0, b"filter il 9p").unwrap();
+        let text = String::from_utf8(fs.read(&ctl, 0, 128).unwrap()).unwrap();
+        assert_eq!(text, "trace on\nfilter il 9p\n");
+        fs.write(&ctl, 0, b"trace off").unwrap();
+        assert!(!tracer.enabled());
+    }
+
+    #[test]
+    fn data_streams_completed_spans() {
+        let (fs, tracer) = served();
+        let ctl = walk_open(&fs, &["trace", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"trace on").unwrap();
+        let h = tracer.begin("Tread tag 4").unwrap();
+        let now = Instant::now();
+        h.span(Facility::NineP, "marshal", now, now);
+        h.finish();
+        let data = walk_open(&fs, &["trace", "data"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&data, 0, 4096).unwrap()).unwrap();
+        assert!(text.contains("trace 1 Tread tag 4"), "{text}");
+        assert!(text.contains("span 9p marshal"), "{text}");
+        fs.write(&ctl, 0, b"clear").unwrap();
+        assert!(fs.read(&data, 0, 4096).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dump_forces_open_roots_into_data() {
+        let (fs, tracer) = served();
+        let ctl = walk_open(&fs, &["trace", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"trace on").unwrap();
+        let _h = tracer.begin("stuck").unwrap();
+        fs.write(&ctl, 0, b"dump").unwrap();
+        let data = walk_open(&fs, &["trace", "data"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&data, 0, 4096).unwrap()).unwrap();
+        assert!(text.contains("stuck") && text.contains("open"), "{text}");
+    }
+
+    #[test]
+    fn bad_requests_are_errors_naming_the_offender() {
+        let (fs, _tracer) = served();
+        let ctl = walk_open(&fs, &["trace", "ctl"], OpenMode::RDWR);
+        let err = fs.write(&ctl, 0, b"filter lance").unwrap_err();
+        assert!(err.0.contains("lance"), "{err}");
+        let err = fs.write(&ctl, 0, b"rewind").unwrap_err();
+        assert!(err.0.contains("rewind"), "{err}");
+        let data = walk_open(&fs, &["trace", "data"], OpenMode::READ);
+        assert!(fs.write(&data, 0, b"no").is_err());
+    }
+}

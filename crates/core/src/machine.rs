@@ -219,6 +219,13 @@ impl MachineBuilder {
             let log_fs = crate::dev::LogFs::new(Arc::clone(stack.netlog()));
             let log_dyn: Arc<dyn ProcFs> = log_fs;
             ns.mount(Source::attach(&log_dyn, "bootes", "")?, "/net", MAFTER)?;
+            // The nettrace device: /net/trace/{ctl,data} over the
+            // process-wide flight recorder, so a trace that crosses
+            // machines reads the same from any of them.
+            let trace_fs =
+                crate::dev::TraceFs::new(Arc::clone(plan9_netlog::trace::global()));
+            let trace_dyn: Arc<dyn ProcFs> = trace_fs;
+            ns.mount(Source::attach(&trace_dyn, "bootes", "")?, "/net", MAFTER)?;
         }
         // DNS, then CS over it.
         let dns = self.internet.as_ref().map(|net| DnsServer::new(Arc::clone(net)));
@@ -701,7 +708,7 @@ sys=gnot ip=135.104.9.40 dk=nj/astro/philw-gnot proto=il proto=tcp
         names.sort();
         assert_eq!(
             names,
-            vec!["arp", "cs", "dk", "ether0", "il", "log", "tcp", "udp"]
+            vec!["arp", "cs", "dk", "ether0", "il", "log", "tcp", "trace", "udp"]
         );
     }
 

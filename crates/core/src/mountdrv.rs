@@ -49,7 +49,20 @@ impl Clone for ChanIo {
 impl MsgSink for ChanIo {
     fn sendmsg(&mut self, msg: &[u8]) -> Result<()> {
         // One write, one message: delimited transports preserve it.
-        self.src.fs.write(&self.src.node, 0, msg).map(|_| ())
+        // The span is the protocol device's data-write handling, nested
+        // inside the client's txwait.
+        let cur = plan9_netlog::trace::current();
+        let t0 = cur.as_ref().map(|_| std::time::Instant::now());
+        let r = self.src.fs.write(&self.src.node, 0, msg).map(|_| ());
+        if let (Some(h), Some(t0)) = (cur, t0) {
+            h.span(
+                plan9_netlog::Facility::NineP,
+                "devwrite",
+                t0,
+                std::time::Instant::now(),
+            );
+        }
+        r
     }
 }
 

@@ -25,6 +25,7 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
+use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, Histogram, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
@@ -271,6 +272,10 @@ struct Sent {
     /// Set once the message has been retransmitted (Karn's rule: no RTT
     /// sample from it).
     rexmit: bool,
+    /// The sender's nettrace root, captured at `send`: the ack (on the
+    /// input thread), a repair (input thread) and a query (timer
+    /// thread) all attribute back to the RPC that sent the message.
+    trace: Option<trace::TraceHandle>,
 }
 
 struct Inner {
@@ -624,6 +629,7 @@ impl IlConn {
                     payload: msg.to_vec(),
                     at: Instant::now(),
                     rexmit: false,
+                    trace: trace::current(),
                 },
             );
             if inner.rtx_deadline.is_none() {
@@ -718,7 +724,7 @@ impl IlConn {
             enum Action {
                 None,
                 SendAck(u32, u32),
-                SendQuery(u32, u32),
+                SendQuery(u32, u32, Option<trace::TraceHandle>),
                 Resync(u32, u32, bool),
                 ReClose(u32, u32),
                 Die,
@@ -761,8 +767,15 @@ impl IlConn {
                                     inner.retries = 0;
                                     Action::None
                                 } else {
-                                    // The IL way: ask, don't blast.
-                                    Action::SendQuery(inner.snd_id, inner.rcv_id)
+                                    // The IL way: ask, don't blast. The
+                                    // query is about the oldest unacked
+                                    // message; its trace owns the event.
+                                    let tr = inner
+                                        .unacked
+                                        .values()
+                                        .next()
+                                        .and_then(|s| s.trace.clone());
+                                    Action::SendQuery(inner.snd_id, inner.rcv_id, tr)
                                 }
                             }
                         }
@@ -780,12 +793,15 @@ impl IlConn {
                     }
                     let _ = self.transmit(IlType::Ack, id, ack, &[]);
                 }
-                Action::SendQuery(id, ack) => {
+                Action::SendQuery(id, ack, tr) => {
                     if let Some(stack) = self.stack.upgrade() {
                         stack.il.stats.queries.inc();
                         stack.il.netlog.events.log(Facility::Il, || {
                             format!("query id {id} ack {ack}")
                         });
+                    }
+                    if let Some(h) = tr {
+                        h.event(Facility::Il, || format!("query id {id} ack {ack}"));
                     }
                     let _ = self.transmit(IlType::Query, id, ack, &[]);
                 }
@@ -803,7 +819,7 @@ impl IlConn {
     fn handle(self: &Arc<Self>, pkt: &IlPacket) {
         let mut send_ack = false;
         let mut send_state = false;
-        let mut retransmit: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut retransmit: Vec<(u32, Vec<u8>, Option<trace::TraceHandle>)> = Vec::new();
         let mut deliver_to_listener = false;
         let mut reply_close = false;
         {
@@ -873,7 +889,11 @@ impl IlConn {
                             for (&id, sent) in inner.unacked.iter_mut() {
                                 if seq_lt(pkt.ack, id) && retransmit.len() < REPAIR_BURST {
                                     sent.rexmit = true;
-                                    retransmit.push((id, sent.payload.clone()));
+                                    retransmit.push((
+                                        id,
+                                        sent.payload.clone(),
+                                        sent.trace.clone(),
+                                    ));
                                 }
                             }
                             if !retransmit.is_empty() {
@@ -940,13 +960,13 @@ impl IlConn {
         }
         if !retransmit.is_empty() {
             if let Some(stack) = self.stack.upgrade() {
-                let bytes: usize = retransmit.iter().map(|(_, p)| p.len()).sum();
+                let bytes: usize = retransmit.iter().map(|(_, p, _)| p.len()).sum();
                 stack.il.stats.retransmit_msgs.add(retransmit.len() as u64);
                 stack.il.stats.retransmit_bytes.add(bytes as u64);
                 // One event per repaired message, so the event log is a
                 // ground truth the retransmit counter can be checked
                 // against.
-                for (id, payload) in &retransmit {
+                for (id, payload, _) in &retransmit {
                     let len = payload.len();
                     stack
                         .il
@@ -955,8 +975,17 @@ impl IlConn {
                         .log(Facility::Il, || format!("rexmit id {id} len {len}"));
                 }
             }
+            // The same event, on the root span of the RPC whose message
+            // was repaired — the netlog line and the span event pair up
+            // one to one.
+            for (id, payload, tr) in &retransmit {
+                if let Some(h) = tr {
+                    let len = payload.len();
+                    h.event(Facility::Il, || format!("rexmit id {id} len {len}"));
+                }
+            }
             let ack = self.inner.lock().rcv_id;
-            for (id, payload) in retransmit {
+            for (id, payload, _) in retransmit {
                 let _ = self.transmit(IlType::Data, id, ack, &payload);
             }
         }
@@ -994,6 +1023,17 @@ impl IlConn {
         }
         for id in &acked {
             if let Some(sent) = inner.unacked.remove(id) {
+                // The send→ack interval, on the root span of the RPC
+                // that sent the message. A retransmitted message's span
+                // stretches accordingly: the retransmit-inflated tail.
+                if let Some(h) = &sent.trace {
+                    h.span(
+                        Facility::Il,
+                        &format!("il send id {id}"),
+                        sent.at,
+                        Instant::now(),
+                    );
+                }
                 // Round-trip sample from the newest acked message —
                 // unless it was retransmitted or sent before a repair
                 // round, whose queuing delay would inflate the estimate

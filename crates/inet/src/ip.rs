@@ -317,6 +317,21 @@ impl IpStack {
 
     /// Sends a transport payload to `dst`, fragmenting as needed.
     pub fn send(&self, dst: IpAddr, proto: u8, payload: &[u8]) -> crate::Result<()> {
+        let cur = plan9_netlog::trace::current();
+        let t0 = cur.as_ref().map(|_| Instant::now());
+        let r = self.send_inner(dst, proto, payload);
+        if let (Some(h), Some(t0)) = (cur, t0) {
+            h.span(
+                plan9_netlog::Facility::Ip,
+                &format!("ip tx {}B", payload.len()),
+                t0,
+                Instant::now(),
+            );
+        }
+        r
+    }
+
+    fn send_inner(&self, dst: IpAddr, proto: u8, payload: &[u8]) -> crate::Result<()> {
         let id = self.ip_id.fetch_add(1, Ordering::Relaxed);
         let mtu_payload = self.mtu();
         if payload.len() <= mtu_payload {

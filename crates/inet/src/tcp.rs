@@ -14,6 +14,7 @@ use crate::addr::IpAddr;
 use crate::checksum::internet_checksum;
 use crate::ip::IpStack;
 use crate::ports::PortSpace;
+use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
@@ -266,6 +267,10 @@ struct Inner {
     cwnd: u32,
     ssthresh: u32,
     dup_acks: u32,
+    /// The last writer's nettrace root: byte streams have no message
+    /// identity, so a retransmission is attributed to the most recent
+    /// traced writer.
+    trace: Option<trace::TraceHandle>,
 }
 
 impl Inner {
@@ -590,6 +595,7 @@ impl TcpConn {
                 cwnd: 2 * mss as u32,
                 ssthresh: RCV_BUF_MAX as u32,
                 dup_acks: 0,
+                trace: None,
             }),
             readable: Condvar::new(),
             writable: Condvar::new(),
@@ -660,10 +666,15 @@ impl TcpConn {
     /// Writes bytes into the stream; blocks while the send buffer is
     /// full. Boundaries are NOT preserved — this is TCP.
     pub fn write(&self, data: &[u8]) -> crate::Result<usize> {
+        let cur = trace::current();
+        let w0 = cur.as_ref().map(|_| Instant::now());
         let mut offered = 0usize;
         while offered < data.len() {
             {
                 let mut inner = self.inner.lock();
+                if cur.is_some() && offered == 0 {
+                    inner.trace = cur.clone();
+                }
                 loop {
                     match inner.state {
                         TcpState::Established | TcpState::CloseWait => {}
@@ -686,6 +697,9 @@ impl TcpConn {
                 offered += take;
             }
             self.pump();
+        }
+        if let (Some(h), Some(t0)) = (&cur, w0) {
+            h.span(Facility::Tcp, "tcp write", t0, Instant::now());
         }
         Ok(data.len())
     }
@@ -842,6 +856,7 @@ impl TcpConn {
         loop {
             std::thread::sleep(Duration::from_millis(10));
             let mut actions: Vec<(u16, u32, u32, Vec<u8>)> = Vec::new();
+            let rexmit_trace: Option<trace::TraceHandle>;
             {
                 let mut inner = self.inner.lock();
                 if inner.state == TcpState::Closed {
@@ -878,6 +893,7 @@ impl TcpConn {
                 inner.enter_recovery();
                 inner.cwnd = inner.mss as u32;
                 inner.dup_acks = 0;
+                rexmit_trace = inner.trace.clone();
                 match inner.state {
                     TcpState::SynSent => {
                         actions.push((SYN, inner.snd_una, 0, Vec::new()));
@@ -937,6 +953,11 @@ impl TcpConn {
                     stack.tcp.netlog.events.log(Facility::Tcp, || {
                         format!("timeout rexmit {n} segments {bytes} bytes")
                     });
+                    if let Some(h) = &rexmit_trace {
+                        h.event(Facility::Tcp, || {
+                            format!("timeout rexmit {n} segments {bytes} bytes")
+                        });
+                    }
                 } else {
                     break;
                 }

@@ -23,6 +23,8 @@
 //! `stats` files) lives in `plan9-core`, which simply renders these
 //! types on demand.
 
+pub mod trace;
+
 use plan9_support::sync::Mutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
@@ -322,11 +324,12 @@ pub enum Facility {
     Ether,
     NineP,
     Streams,
+    Ip,
 }
 
 impl Facility {
     /// All facilities, in ctl-listing order.
-    pub const ALL: [Facility; 7] = [
+    pub const ALL: [Facility; 8] = [
         Facility::Il,
         Facility::Tcp,
         Facility::Udp,
@@ -334,6 +337,7 @@ impl Facility {
         Facility::Ether,
         Facility::NineP,
         Facility::Streams,
+        Facility::Ip,
     ];
 
     /// The facility's bit in the enable mask.
@@ -351,6 +355,7 @@ impl Facility {
             Facility::Ether => "ether",
             Facility::NineP => "9p",
             Facility::Streams => "streams",
+            Facility::Ip => "ip",
         }
     }
 

@@ -144,8 +144,20 @@ impl EtherSegment {
                 self.medium.profile().mtu
             ));
         }
+        // The wire-delivery span: bus acquisition plus serialization,
+        // attributed to whatever RPC is transmitting on this thread.
+        let cur = plan9_netlog::trace::current();
+        let t0 = cur.as_ref().map(|_| Instant::now());
         // Seize the bus for the transmission time.
         let done = self.medium.transmit(frame.len());
+        if let (Some(h), Some(t0)) = (&cur, t0) {
+            h.span(
+                plan9_netlog::Facility::Ether,
+                &format!("wire tx {}B", frame.len()),
+                t0,
+                Instant::now(),
+            );
+        }
         let mut f = frame.to_vec();
         let (copies, extra) = self.medium_impair(&mut f);
         if copies == 0 {

@@ -191,6 +191,8 @@ impl WireTx {
                 self.medium.profile.mtu
             ));
         }
+        let cur = plan9_netlog::trace::current();
+        let t0 = cur.as_ref().map(|_| Instant::now());
         let done = self.medium.transmit(frame.len());
         let mut f = frame.to_vec();
         let (copies, extra) = self.medium.impair(&mut f);
@@ -202,6 +204,16 @@ impl WireTx {
                     frame: f.clone(),
                 })
                 .map_err(|_| "wire: peer gone".to_string())?;
+        }
+        if let (Some(h), Some(t0)) = (cur, t0) {
+            // Line acquisition plus serialization: where a paced or
+            // busy wire makes a traced request wait.
+            h.span(
+                plan9_netlog::Facility::Ether,
+                &format!("wire tx {}B", frame.len()),
+                t0,
+                Instant::now(),
+            );
         }
         Ok(())
     }

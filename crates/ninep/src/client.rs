@@ -12,7 +12,8 @@ use crate::procfs::OpenMode;
 use crate::qid::Qid;
 use crate::transport::{MsgSink, MsgSource};
 use crate::{errstr, Dir, NineError, Result};
-use plan9_netlog::{Counter, Histogram};
+use plan9_netlog::trace;
+use plan9_netlog::{Counter, Facility, Histogram};
 use plan9_support::chan::{bounded, Sender};
 use plan9_support::sync::Mutex;
 use std::collections::HashMap;
@@ -122,22 +123,53 @@ impl NineClient {
     /// Performs one RPC: sends the T-message, blocks for the R-message.
     ///
     /// An `Rerror` reply is surfaced as `Err` with the server's string.
+    ///
+    /// When nettrace is on, the RPC opens a root span keyed by its tag;
+    /// three children partition it — `marshal` (packing the T-message),
+    /// `txwait` (the transmit path down to the wire, which runs on this
+    /// thread), `reply` (waiting for the R-message) — and the handle is
+    /// installed as the thread's current trace so the layers underneath
+    /// attribute their own spans to this RPC.
     pub fn rpc(&self, t: &Tmsg) -> Result<Rmsg> {
         if self.hungup() {
             return Err(NineError::new(errstr::EHUNGUP));
         }
         let tag = self.alloc_tag();
+        let tracer = trace::global();
+        let root = if tracer.enabled() {
+            tracer.begin(&format!("{:?} tag {tag}", t.msg_type()))
+        } else {
+            None
+        };
+        let _cur = root.as_ref().map(|h| h.set_current());
+        // The three child spans share their boundary timestamps so they
+        // tile the root: nothing the RPC waits on falls in a gap.
+        let m0 = Instant::now();
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(tag, tx);
         let buf = encode_tmsg(tag, t);
         let started = Instant::now();
+        if let Some(h) = &root {
+            h.span(Facility::NineP, "marshal", m0, started);
+        }
         if let Err(e) = self.shared.sink.lock().sendmsg(&buf) {
             self.shared.pending.lock().remove(&tag);
+            if let Some(h) = &root {
+                h.finish();
+            }
             return Err(e);
         }
-        let r = rx
-            .recv()
-            .map_err(|_| NineError::new(errstr::EHUNGUP))?;
+        let r0 = Instant::now();
+        if let Some(h) = &root {
+            h.span(Facility::NineP, "txwait", started, r0);
+        }
+        let r = rx.recv();
+        if let Some(h) = &root {
+            let t_end = Instant::now();
+            h.span(Facility::NineP, "reply", r0, t_end);
+            h.finish_at(t_end);
+        }
+        let r = r.map_err(|_| NineError::new(errstr::EHUNGUP))?;
         self.shared.rpcs.inc();
         self.shared.rpc_time.record(started.elapsed());
         match r {

@@ -15,6 +15,8 @@ use crate::fcall::{Fid, Rmsg, Tag, Tmsg, CHAL_LEN, MAX_FDATA};
 use crate::procfs::{OpenMode, ProcFs, ServeNode};
 use crate::transport::{MsgSink, MsgSource};
 use crate::{errstr, NineError, Result};
+use plan9_netlog::trace;
+use plan9_netlog::Facility;
 use plan9_support::sync::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -140,11 +142,29 @@ pub fn serve_with_identity(
             }
             other => {
                 // Potentially-blocking file operations get a worker each.
+                // The server opens its own root span per request: the
+                // reply direction (including its IL sends and rexmits)
+                // has no client handle to inherit across the wire, so
+                // it is attributed to this `serve` root instead.
                 let shared = Arc::clone(&shared);
+                let tracer = trace::global();
+                let root = if tracer.enabled() {
+                    tracer.begin(&format!("serve {:?} tag {tag}", other.msg_type()))
+                } else {
+                    None
+                };
                 workers.push(std::thread::spawn(move || {
+                    let _cur = root.as_ref().map(|h| h.set_current());
+                    let h0 = std::time::Instant::now();
                     let r = handle(&shared, &other)
                         .unwrap_or_else(|e| Rmsg::Error { ename: e.0 });
+                    if let Some(h) = &root {
+                        h.span(Facility::NineP, "handle", h0, std::time::Instant::now());
+                    }
                     shared.reply(tag, &r);
+                    if let Some(h) = &root {
+                        h.finish();
+                    }
                 }));
                 workers.retain(|w| !w.is_finished());
             }

@@ -5,6 +5,10 @@
 //! pointers to an optional buffer. Block buffers can hold either data or
 //! control information, i.e., directives to the processing modules."
 
+use plan9_netlog::trace::{self, TraceHandle};
+use plan9_netlog::Facility;
+use std::time::Instant;
+
 /// The type of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockKind {
@@ -19,8 +23,45 @@ pub enum BlockKind {
     Hangup,
 }
 
+/// The nettrace annotation riding on a block: which root span the
+/// block's bytes belong to, and — while the block sits in a queue —
+/// when it was enqueued, so the dequeue can record the residency span.
+///
+/// The annotation survives fragmentation (each fragment carries a clone
+/// of the handle) and coalescing (the merged block keeps the handle of
+/// the block that completed it).
+#[derive(Debug, Clone)]
+pub struct BlockTrace {
+    /// The root span these bytes belong to.
+    pub handle: TraceHandle,
+    queued_at: Option<Instant>,
+}
+
+impl BlockTrace {
+    /// Annotates with a root span handle.
+    pub fn new(handle: TraceHandle) -> BlockTrace {
+        BlockTrace {
+            handle,
+            queued_at: None,
+        }
+    }
+
+    /// Called by `Queue::put`: stamps the enqueue time.
+    pub fn note_enqueued(&mut self) {
+        self.queued_at = Some(Instant::now());
+    }
+
+    /// Called on dequeue: records the queue-residency span.
+    pub fn note_dequeued(&mut self) {
+        if let Some(t0) = self.queued_at.take() {
+            self.handle
+                .span(Facility::Streams, "queue", t0, Instant::now());
+        }
+    }
+}
+
 /// A block moving through a stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Block {
     /// Data or control.
     pub kind: BlockKind,
@@ -29,7 +70,20 @@ pub struct Block {
     pub delim: bool,
     /// The buffer.
     pub data: Vec<u8>,
+    /// The nettrace annotation, if the writer was traced. `None` costs
+    /// nothing; equality and the codecs ignore it.
+    pub trace: Option<BlockTrace>,
 }
+
+/// Equality is over the payload only: the trace annotation is
+/// diagnostic freight, invisible to the protocol machinery and tests.
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        self.kind == other.kind && self.delim == other.delim && self.data == other.data
+    }
+}
+
+impl Eq for Block {}
 
 impl Block {
     /// A data block without a delimiter.
@@ -38,6 +92,7 @@ impl Block {
             kind: BlockKind::Data,
             delim: false,
             data: bytes.into(),
+            trace: None,
         }
     }
 
@@ -47,6 +102,7 @@ impl Block {
             kind: BlockKind::Data,
             delim: true,
             data: bytes.into(),
+            trace: None,
         }
     }
 
@@ -56,6 +112,7 @@ impl Block {
             kind: BlockKind::Control,
             delim: true,
             data: cmd.as_bytes().to_vec(),
+            trace: None,
         }
     }
 
@@ -65,7 +122,26 @@ impl Block {
             kind: BlockKind::Hangup,
             delim: true,
             data: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Annotates the block with the calling thread's current trace.
+    /// One thread-local read when tracing is off.
+    pub fn annotate(mut self) -> Block {
+        if self.trace.is_none() {
+            if let Some(h) = trace::current() {
+                self.trace = Some(BlockTrace::new(h));
+            }
+        }
+        self
+    }
+
+    /// Carries `from`'s annotation onto this block, as when a module
+    /// reframes or coalesces payloads.
+    pub fn with_trace_of(mut self, from: &Block) -> Block {
+        self.trace = from.trace.clone();
+        self
     }
 
     /// The buffer length in bytes.
@@ -114,5 +190,27 @@ mod tests {
         let b = Block::data(Vec::new());
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn trace_annotation_is_invisible_to_equality() {
+        let t = plan9_netlog::trace::Tracer::new(4);
+        t.ctl("trace on").unwrap();
+        let h = t.begin("write").unwrap();
+        let _g = h.set_current();
+        let annotated = Block::data(vec![1, 2]).annotate();
+        assert!(annotated.trace.is_some());
+        assert_eq!(annotated, Block::data(vec![1, 2]));
+        // The handle survives reframing.
+        let reframed = Block::delim(vec![9]).with_trace_of(&annotated);
+        assert_eq!(
+            reframed.trace.as_ref().unwrap().handle.id(),
+            annotated.trace.as_ref().unwrap().handle.id()
+        );
+    }
+
+    #[test]
+    fn untraced_thread_annotates_nothing() {
+        assert!(Block::data(vec![1]).annotate().trace.is_none());
     }
 }

@@ -131,11 +131,15 @@ impl StreamModule for DelimMod {
         let mut framed = Vec::with_capacity(4 + b.len());
         framed.extend_from_slice(&(b.len() as u32).to_le_bytes());
         framed.extend_from_slice(&b.data);
-        ctx.send_down(Block {
-            kind: BlockKind::Data,
-            delim: b.delim,
-            data: framed,
-        })
+        ctx.send_down(
+            Block {
+                kind: BlockKind::Data,
+                delim: b.delim,
+                data: framed,
+                trace: None,
+            }
+            .with_trace_of(&b),
+        )
     }
 
     fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {
@@ -154,7 +158,9 @@ impl StreamModule for DelimMod {
             }
             let msg: Vec<u8> = buf[4..4 + need].to_vec();
             buf.drain(..4 + need);
-            ctx.send_up(Block::delim(msg))?;
+            // Coalescing: the reassembled message keeps the trace of
+            // the block that completed it.
+            ctx.send_up(Block::delim(msg).with_trace_of(&b))?;
         }
     }
 }
@@ -199,11 +205,15 @@ impl StreamModule for ByteStuff {
             }
         }
         out.push(self.flag);
-        ctx.send_down(Block {
-            kind: BlockKind::Data,
-            delim: b.delim,
-            data: out,
-        })
+        ctx.send_down(
+            Block {
+                kind: BlockKind::Data,
+                delim: b.delim,
+                data: out,
+                trace: None,
+            }
+            .with_trace_of(&b),
+        )
     }
 
     fn put_up(&self, ctx: &ModuleCtx, b: Block) -> Result<()> {

@@ -97,6 +97,7 @@ impl Mux {
                     kind: b.kind,
                     delim: b.delim,
                     data: b.data[strip.min(b.data.len())..].to_vec(),
+                    trace: b.trace.clone(),
                 };
                 let ports: Vec<Arc<MuxPort>> = self
                     .ports

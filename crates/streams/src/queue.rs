@@ -77,7 +77,10 @@ impl Queue {
     /// Control and hangup blocks are never blocked by flow control ("the
     /// time to parse control blocks is not important, since control
     /// operations are rare" — but they must not deadlock behind data).
-    pub fn put(&self, b: Block) -> crate::Result<()> {
+    pub fn put(&self, mut b: Block) -> crate::Result<()> {
+        if let Some(t) = b.trace.as_mut() {
+            t.note_enqueued();
+        }
         let mut inner = self.inner.lock();
         if b.kind == BlockKind::Data {
             if inner.bytes >= self.limit && !inner.closed {
@@ -116,9 +119,12 @@ impl Queue {
     pub fn get(&self) -> Option<Block> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(b) = inner.blocks.pop_front() {
+            if let Some(mut b) = inner.blocks.pop_front() {
                 inner.bytes -= b.len();
                 self.writable.notify_all();
+                if let Some(t) = b.trace.as_mut() {
+                    t.note_dequeued();
+                }
                 return Some(b);
             }
             if inner.closed || inner.hungup {
@@ -134,9 +140,12 @@ impl Queue {
         let deadline = std::time::Instant::now() + d;
         let mut inner = self.inner.lock();
         loop {
-            if let Some(b) = inner.blocks.pop_front() {
+            if let Some(mut b) = inner.blocks.pop_front() {
                 inner.bytes -= b.len();
                 self.writable.notify_all();
+                if let Some(t) = b.trace.as_mut() {
+                    t.note_dequeued();
+                }
                 return Ok(Some(b));
             }
             if inner.closed || inner.hungup {
@@ -155,9 +164,12 @@ impl Queue {
     /// Removes the next block without blocking.
     pub fn try_get(&self) -> Option<Block> {
         let mut inner = self.inner.lock();
-        let b = inner.blocks.pop_front()?;
+        let mut b = inner.blocks.pop_front()?;
         inner.bytes -= b.len();
         self.writable.notify_all();
+        if let Some(t) = b.trace.as_mut() {
+            t.note_dequeued();
+        }
         Some(b)
     }
 
@@ -289,6 +301,21 @@ mod tests {
         q.put_back(Block::data(vec![1]));
         assert_eq!(q.get().unwrap().data, vec![1]);
         assert_eq!(q.get().unwrap().data, vec![2]);
+    }
+
+    #[test]
+    fn dequeue_records_residency_span() {
+        let t = plan9_netlog::trace::Tracer::new(4);
+        t.ctl("trace on").unwrap();
+        let h = t.begin("rpc").unwrap();
+        let _g = h.set_current();
+        let q = Queue::default();
+        q.put(Block::data(vec![7]).annotate()).unwrap();
+        q.get().unwrap();
+        h.finish();
+        let root = &t.roots()[0];
+        assert_eq!(root.spans.len(), 1, "{root:?}");
+        assert_eq!(root.spans[0].name, "queue");
     }
 
     #[test]

@@ -227,10 +227,12 @@ impl Stream {
         }
         let mut chunks = data.chunks(MAX_ATOMIC_WRITE).peekable();
         while let Some(chunk) = chunks.next() {
+            // Every fragment of the write carries the writer's trace,
+            // so the annotation survives this fragmentation.
             let b = if chunks.peek().is_none() {
-                Block::delim(chunk.to_vec())
+                Block::delim(chunk.to_vec()).annotate()
             } else {
-                Block::data(chunk.to_vec())
+                Block::data(chunk.to_vec()).annotate()
             };
             self.write_block(b)?;
         }
@@ -358,6 +360,7 @@ impl Stream {
                             kind: BlockKind::Data,
                             delim: block.delim,
                             data: block.data[want..].to_vec(),
+                            trace: block.trace.clone(),
                         };
                         state.partial = Some(rest);
                         return Ok(out);

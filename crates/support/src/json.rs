@@ -1,0 +1,42 @@
+//! Minimal JSON emission: string quoting.
+//!
+//! The benchmarks and examples emit machine-readable results without a
+//! serialization dependency; composing objects and arrays with
+//! `format!` is fine as long as strings are quoted correctly, which is
+//! the one part worth owning in a single place.
+
+/// Returns `s` as a quoted JSON string, escaping the characters JSON
+/// requires (quote, backslash, and control characters).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_are_just_quoted() {
+        assert_eq!(quote("il/0"), "\"il/0\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+}

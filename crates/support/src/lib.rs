@@ -15,6 +15,7 @@
 //! | [`buf`]   | `bytes`           | `BytesMut`/`Bytes` byte-buffer surface   |
 //! | [`check`] | `proptest`        | property-test runner + [`props!`] macro  |
 //! | [`bench`] | `criterion`       | micro-bench harness, no-op-able          |
+//! | [`json`]  | `serde_json`      | string quoting for hand-rolled emitters  |
 //!
 //! Everything here sits on `std` alone.
 
@@ -22,5 +23,6 @@ pub mod bench;
 pub mod buf;
 pub mod chan;
 pub mod check;
+pub mod json;
 pub mod rng;
 pub mod sync;

@@ -7,7 +7,8 @@
 //! connection directories for the conversations, `stats` files for the
 //! counters, `/net/log/data` for the event trace.
 //!
-//! Run with `cargo run --example netstat`.
+//! Run with `cargo run --example netstat`; with `-- --json` the same
+//! state is emitted as one JSON document on stdout for scripts.
 
 use plan9::core::dial::{accept, announce, dial, listen};
 use plan9::core::machine::MachineBuilder;
@@ -16,11 +17,13 @@ use plan9::inet::ip::IpConfig;
 use plan9::netsim::ether::EtherSegment;
 use plan9::netsim::profile::Profiles;
 use plan9::ninep::procfs::OpenMode;
+use plan9_support::json::quote;
 
-/// Prints one line per conversation of every protocol directory, like
+/// One row per conversation of every protocol directory, like
 /// `netstat(8)`: the status file already carries proto/conn, state and
 /// endpoints.
-fn netstat(p: &Proc) {
+fn conn_rows(p: &Proc) -> Vec<(String, String, String, String)> {
+    let mut rows = Vec::new();
     for proto in ["il", "tcp", "udp"] {
         let Ok(entries) = p.ls(&format!("/net/{proto}")) else {
             continue;
@@ -38,25 +41,31 @@ fn netstat(p: &Proc) {
                 p.close(fd);
                 text.trim_end().to_string()
             };
-            println!(
-                "{:<12} {:<24} {:<24} {}",
+            rows.push((
                 format!("{proto}/{}", d.name),
                 read_file("local"),
                 read_file("remote"),
                 read_file("status"),
-            );
+            ));
         }
     }
+    rows
+}
+
+fn read_path(p: &Proc, path: &str) -> String {
+    let fd = p.open(path, OpenMode::READ).expect("open");
+    let text = p.read_string(fd).expect("read");
+    p.close(fd);
+    text
 }
 
 fn cat(p: &Proc, path: &str) {
     println!("\ngnot% cat {path}");
-    let fd = p.open(path, OpenMode::READ).expect("open");
-    print!("{}", p.read_string(fd).expect("read"));
-    p.close(fd);
+    print!("{}", read_path(p, path));
 }
 
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     // A 10 Mbit/s Ethernet that loses and duplicates a few frames, so
     // the stats tree has something to say.
     let profile = Profiles::ether_fast().with_loss(0.03).with_dup(0.02);
@@ -79,7 +88,9 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
     let p = gnot.proc();
 
     // Turn on IL tracing before any traffic: netlog is a ctl write.
-    println!("gnot% echo set il > /net/log/ctl");
+    if !json {
+        println!("gnot% echo set il > /net/log/ctl");
+    }
     let ctl = p.open("/net/log/ctl", OpenMode::RDWR).expect("open log ctl");
     p.write_str(ctl, "set il").expect("set il");
 
@@ -112,24 +123,57 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
         assert_eq!(reply.len(), payload.len());
     }
 
-    // The connection table, straight out of the name space.
-    println!("\ngnot% netstat");
-    netstat(&p);
-
-    // The protocol counters: IL with its adaptive-RTT histogram, then
-    // the IP layer underneath.
-    cat(&p, "/net/il/stats");
-
-    // The interface and the wire under it. Conversation directories
-    // appear when the clone file is opened, as in Figure 1.
+    // Conversation directories appear when the clone file is opened,
+    // as in Figure 1.
     let eclone = p.open("/net/ether0/clone", OpenMode::RDWR).expect("ether clone");
-    cat(&p, "/net/ether0/1/stats");
 
-    // The IL event trace collected since `set il`.
-    cat(&p, "/net/log/data");
+    if json {
+        // Everything the prose mode prints, as one JSON document.
+        let conns: Vec<String> = conn_rows(&p)
+            .into_iter()
+            .map(|(c, l, r, s)| {
+                format!(
+                    "{{\"conn\": {}, \"local\": {}, \"remote\": {}, \"status\": {}}}",
+                    quote(&c),
+                    quote(&l),
+                    quote(&r),
+                    quote(&s)
+                )
+            })
+            .collect();
+        let log_lines: Vec<String> = read_path(&p, "/net/log/data")
+            .lines()
+            .map(quote)
+            .collect();
+        println!("{{");
+        println!("  \"conns\": [{}],", conns.join(", "));
+        println!(
+            "  \"stats\": {{\"il\": {}, \"ether0\": {}}},",
+            quote(&read_path(&p, "/net/il/stats")),
+            quote(&read_path(&p, "/net/ether0/1/stats"))
+        );
+        println!("  \"log\": [{}]", log_lines.join(", "));
+        println!("}}");
+    } else {
+        // The connection table, straight out of the name space.
+        println!("\ngnot% netstat");
+        for (c, l, r, s) in conn_rows(&p) {
+            println!("{c:<12} {l:<24} {r:<24} {s}");
+        }
+
+        // The protocol counters: IL with its adaptive-RTT histogram,
+        // then the interface and the wire under it.
+        cat(&p, "/net/il/stats");
+        cat(&p, "/net/ether0/1/stats");
+
+        // The IL event trace collected since `set il`.
+        cat(&p, "/net/log/data");
+    }
 
     // `clear` zeroes the mask and flushes the ring.
-    println!("\ngnot% echo clear > /net/log/ctl");
+    if !json {
+        println!("\ngnot% echo clear > /net/log/ctl");
+    }
     p.write_str(ctl, "clear").expect("clear");
     let fd = p.open("/net/log/data", OpenMode::READ).expect("open log data");
     let drained = p.read_string(fd).expect("read");
@@ -140,5 +184,7 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
     p.close(conn.data_fd);
     p.close(conn.ctl_fd);
     p.close(ctl);
-    println!("\nnetstat: OK");
+    if !json {
+        println!("\nnetstat: OK");
+    }
 }

@@ -18,12 +18,25 @@ cargo build --release --offline --workspace
 cargo test -q --offline
 
 # The paper's flagship listings must run end to end, still offline.
-for ex in quickstart csquery netstat; do
+for ex in quickstart csquery netstat tracerpc; do
     cargo run --release --offline --example "$ex" >/dev/null
 done
+
+# nettrace is pay-for-use: with tracing off (the default) the same RPC
+# workload must add zero blocks to the span ring (the example asserts).
+cargo run --release --offline --example tracerpc -- off >/dev/null
+
+# netstat --json must emit valid JSON.
+cargo run --release --offline --example netstat -- --json | python3 -m json.tool >/dev/null
 
 # §3 size claim: IL must stay smaller than TCP (the binary asserts
 # il.rs non-test LoC < tcp.rs non-test LoC and exits nonzero if not).
 cargo run --release --offline -p plan9-bench --bin loc >/dev/null
 
-echo "verify: OK (hermetic build + tests + examples + LoC gate)"
+# Benchmark JSON artifacts: regenerate and validate both.
+cargo run --release --offline -p plan9-bench --bin table1 fast >/dev/null
+cargo run --release --offline -p plan9-bench --bin ilvstcp >/dev/null
+python3 -m json.tool BENCH_table1.json >/dev/null
+python3 -m json.tool BENCH_ilvstcp.json >/dev/null
+
+echo "verify: OK (hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON)"
