@@ -17,13 +17,13 @@ fn bench_ndb(c: &mut Harness) {
         .expect("write");
     let target = names[names.len() / 2].clone();
 
-    let db = Db::open(&[master.clone()]).expect("open");
+    let db = Db::open(std::slice::from_ref(&master)).expect("open");
     c.bench_function("ndb/linear-scan-43k", |b| {
         b.iter(|| black_box(db.query("sys", black_box(&target))))
     });
 
     build_hash(&master, "sys").expect("hash");
-    let db = Db::open(&[master.clone()]).expect("reopen");
+    let db = Db::open(std::slice::from_ref(&master)).expect("reopen");
     c.bench_function("ndb/hashed-43k", |b| {
         b.iter(|| black_box(db.query("sys", black_box(&target))))
     });

@@ -32,7 +32,7 @@ fn main() {
     let probes: Vec<&String> = probe.into_iter().take(200).collect();
 
     // Linear scans (no hash file yet).
-    let db = Db::open(&[master.clone()]).expect("open db");
+    let db = Db::open(std::slice::from_ref(&master)).expect("open db");
     let start = Instant::now();
     for name in &probes {
         let hits = db.query("sys", name);
@@ -50,7 +50,7 @@ fn main() {
     let start = Instant::now();
     let n = build_hash(&master, "sys").expect("build hash");
     println!("built hash for sys: {n} values in {:?}", start.elapsed());
-    let db = Db::open(&[master.clone()]).expect("reopen db");
+    let db = Db::open(std::slice::from_ref(&master)).expect("reopen db");
     let start = Instant::now();
     for name in &probes {
         let hits = db.query("sys", name);
@@ -86,7 +86,7 @@ fn main() {
     let mut updated = text.clone();
     updated.push_str("sys=freshhost\n\tip=135.1.2.3\n");
     std::fs::write(&master, &updated).expect("update master");
-    let db = Db::open(&[master.clone()]).expect("reopen");
+    let db = Db::open(std::slice::from_ref(&master)).expect("reopen");
     let hits = db.query("sys", "freshhost");
     println!(
         "stale hash detected, fell back to scan: freshhost found = {}",

@@ -1,0 +1,775 @@
+//! netcheck: the repository's own static lint pass.
+//!
+//! The streams kernel relies on a handful of invariants that no
+//! general-purpose tool checks:
+//!
+//! - **panic-path** — kernel-path crates (`streams`, `inet`, `core`,
+//!   `ninep`, `netsim`) must not call `.unwrap()`/`.expect()` outside
+//!   test code: a panic inside a `put` routine takes down the whole
+//!   stream. A call that is genuinely infallible may stay if annotated
+//!   `// checked: <reason>` on the same or preceding line.
+//! - **raw-sync** — only `plan9-support` may touch
+//!   `std::sync::{Mutex, RwLock, Condvar}`; everyone else uses the
+//!   no-poison, lockdep-aware wrappers in `plan9_support::sync`.
+//! - **wall-clock** — only `plan9-support` may read
+//!   `SystemTime`/`UNIX_EPOCH`; kernel code uses monotonic `Instant`s
+//!   or `plan9_support::time`.
+//! - **registry-dep** — every manifest dependency must resolve inside
+//!   this repository (`path = …` or `workspace = true`): the build is
+//!   hermetic, and a registry dependency anywhere breaks the offline
+//!   gate.
+//!
+//! The scanner is a line-level lexer, not a parser: it understands
+//! strings (including raw strings), `//` and nested `/* */` comments,
+//! char literals vs lifetimes, and `#[cfg(test)]`/`#[test]` regions —
+//! enough to make the four rules precise without a syntax tree, and
+//! with zero dependencies so it builds before anything else.
+//!
+//! Enforcement ratchets via a baseline (`scripts/check-baseline.txt`):
+//! per `(rule, file)` violation counts may shrink but never grow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src` is a kernel path: a panic there is a stream-wide
+/// outage, so the panic-path rule applies.
+pub const KERNEL_CRATES: &[&str] = &["streams", "inet", "core", "ninep", "netsim"];
+
+/// The one crate allowed to use raw `std::sync` locks and the wall
+/// clock: it *implements* the sanctioned wrappers.
+pub const BOUNDARY_CRATE: &str = "support";
+
+/// The rule classes netcheck enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `.unwrap()`/`.expect(` on a kernel path without `// checked:`.
+    PanicPath,
+    /// `std::sync::{Mutex,RwLock,Condvar}` outside plan9-support.
+    RawSync,
+    /// `SystemTime`/`UNIX_EPOCH` outside plan9-support.
+    WallClock,
+    /// A manifest dependency that is not a path/workspace dep.
+    RegistryDep,
+}
+
+impl Rule {
+    /// The stable diagnostic code, used in output and the baseline.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic-path",
+            Rule::RawSync => "raw-sync",
+            Rule::WallClock => "wall-clock",
+            Rule::RegistryDep => "registry-dep",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One diagnostic: a rule violated at `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Path relative to the scanned root, with `/` separators.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// The offending source line, trimmed, for the diagnostic.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split each source line into code and comment, blanking string
+// contents, so the rules can match tokens without false hits inside
+// literals or prose.
+
+/// One source line after lexing.
+struct LexedLine {
+    /// Code with string/char contents replaced by spaces (delimiting
+    /// quotes kept) and comments removed.
+    code: String,
+    /// The text of any comments on the line (both `//` and `/* */`).
+    comment: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Lexes full source text into per-line code/comment views. The state
+/// machine carries block comments and multi-line strings across lines.
+fn lex(source: &str) -> Vec<LexedLine> {
+    let mut out = Vec::new();
+    let mut state = LexState::Code;
+    for raw in source.lines() {
+        let b: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                LexState::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            LexState::Code
+                        } else {
+                            LexState::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if b[i] == '\\' {
+                        code.push(' ');
+                        if i + 1 < b.len() {
+                            code.push(' ');
+                        }
+                        i += 2;
+                    } else if b[i] == '"' {
+                        code.push('"');
+                        state = LexState::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    // Ends at `"` followed by exactly `hashes` #s.
+                    if b[i] == '"'
+                        && b[i + 1..].iter().take(hashes as usize).filter(|&&c| c == '#').count()
+                            == hashes as usize
+                        && b[i + 1..].len() >= hashes as usize
+                    {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = LexState::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        comment.push_str(&raw[raw.char_indices().nth(i).map(|(p, _)| p).unwrap_or(0)..]);
+                        break;
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(1);
+                        i += 2;
+                    } else if c == 'r' || c == 'b' {
+                        // Possible raw/byte string start: r", r#", br#"…
+                        let mut j = i + 1;
+                        if c == 'b' && b.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')))
+                            && b.get(j) == Some(&'"')
+                            && (c != 'b' || b.get(i + 1) == Some(&'r') || hashes == 0);
+                        if is_raw && (j > i + 1 || b.get(j) == Some(&'"')) && b.get(j) == Some(&'"')
+                        {
+                            code.extend(&b[i..=j]);
+                            i = j + 1;
+                            state = LexState::RawStr(hashes);
+                        } else if c == 'b' && b.get(i + 1) == Some(&'"') {
+                            code.push('b');
+                            code.push('"');
+                            i += 2;
+                            state = LexState::Str;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        code.push('"');
+                        i += 1;
+                        state = LexState::Str;
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: 'x' or '\n' is a
+                        // literal; 'static is a lifetime.
+                        if b.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            code.push('\'');
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            for _ in i + 1..=j.min(b.len() - 1) {
+                                code.push(' ');
+                            }
+                            i = j + 1;
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 3;
+                        } else {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(LexedLine { code, comment });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning.
+
+/// Tracks `#[cfg(test)]` / `#[test]` regions: from the attribute to the
+/// close of the following brace-delimited item (or its terminating `;`
+/// for brace-less items).
+struct TestRegion {
+    /// Attribute seen, waiting for the item's opening brace.
+    pending: bool,
+    /// Brace depth inside the skipped item; `None` when not skipping.
+    depth: Option<i32>,
+}
+
+impl TestRegion {
+    fn new() -> TestRegion {
+        TestRegion {
+            pending: false,
+            depth: None,
+        }
+    }
+
+    /// Feeds one code line; returns true if the line is test-only.
+    fn feed(&mut self, code: &str) -> bool {
+        let trimmed = code.trim();
+        if self.depth.is_none()
+            && !self.pending
+            && (trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]"))
+        {
+            // Fall through: the item (and its braces) may share the line
+            // with the attribute.
+            self.pending = true;
+        }
+        if self.pending {
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut nesting = 0i32; // () and [] around a `;` that isn't a statement end
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => depth -= 1,
+                    '(' | '[' => nesting += 1,
+                    ')' | ']' => nesting -= 1,
+                    ';' if !opened && nesting == 0 => {
+                        // Brace-less item (`#[cfg(test)] use …;`): the
+                        // region is just this statement.
+                        self.pending = false;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            if opened {
+                self.pending = false;
+                if depth > 0 {
+                    self.depth = Some(depth);
+                }
+                // depth <= 0: the item opened and closed on this line.
+            }
+            return true;
+        }
+        if let Some(depth) = self.depth.as_mut() {
+            for c in code.chars() {
+                match c {
+                    '{' => *depth += 1,
+                    '}' => *depth -= 1,
+                    _ => {}
+                }
+            }
+            if *depth <= 0 {
+                self.depth = None;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+fn has_checked_annotation(comment: &str) -> bool {
+    comment
+        .split_once("checked:")
+        .is_some_and(|(_, reason)| !reason.trim().is_empty())
+}
+
+/// The `std::sync` primitives that must stay behind `plan9_support`.
+const RAW_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// Scans one Rust source file. `crate_name` is the directory name under
+/// `crates/`; `file` is the root-relative path used in diagnostics.
+pub fn scan_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lexed = lex(source);
+    let mut region = TestRegion::new();
+    let mut prev_comment_checked = false;
+    let mut in_sync_use = false;
+    let kernel = KERNEL_CRATES.contains(&crate_name);
+    let boundary = crate_name == BOUNDARY_CRATE;
+
+    for (idx, line) in lexed.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = region.feed(&line.code);
+        let checked = has_checked_annotation(&line.comment) || prev_comment_checked;
+        // A standalone `// checked: reason` line blesses the next line.
+        prev_comment_checked =
+            line.code.trim().is_empty() && has_checked_annotation(&line.comment);
+        if in_test {
+            in_sync_use = false;
+            continue;
+        }
+        let code = &line.code;
+        let mut report = |rule: Rule| {
+            out.push(Violation {
+                rule,
+                file: file.to_string(),
+                line: lineno,
+                excerpt: source.lines().nth(idx).unwrap_or("").trim().to_string(),
+            });
+        };
+
+        if kernel && !checked && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            report(Rule::PanicPath);
+        }
+
+        if !boundary {
+            // Direct paths: std::sync::Mutex etc.
+            let direct = RAW_SYNC
+                .iter()
+                .any(|p| code.contains(&format!("std::sync::{p}")));
+            // Grouped imports: `use std::sync::{Arc, Mutex};`, possibly
+            // spanning lines until the closing `;`.
+            let mut grouped = false;
+            if code.contains("std::sync::{") {
+                in_sync_use = true;
+            }
+            if in_sync_use {
+                grouped = RAW_SYNC.iter().any(|p| {
+                    code.split(|c: char| !c.is_alphanumeric() && c != '_')
+                        .any(|tok| tok == *p)
+                });
+                if code.contains(';') {
+                    in_sync_use = false;
+                }
+            }
+            if !checked && (direct || grouped) {
+                report(Rule::RawSync);
+            }
+
+            if !checked && (code.contains("SystemTime") || code.contains("UNIX_EPOCH")) {
+                report(Rule::WallClock);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Manifest scanning.
+
+/// Scans a `Cargo.toml` for dependencies that leave the repository.
+/// Hermeticity rule: every entry in a dependency section must carry
+/// `path = …` (a relative path) or `workspace = true`.
+pub fn scan_manifest(file: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    // `[dependencies.foo]` dotted-table entries accumulate their keys
+    // until the next section header.
+    let mut dotted: Option<(usize, String, bool)> = None;
+
+    let is_dep_section = |name: &str| {
+        name == "dependencies"
+            || name == "dev-dependencies"
+            || name == "build-dependencies"
+            || name == "workspace.dependencies"
+            || (name.starts_with("target.") && name.ends_with("dependencies"))
+    };
+
+    let flush_dotted = |d: &mut Option<(usize, String, bool)>, out: &mut Vec<Violation>| {
+        if let Some((line, name, ok)) = d.take() {
+            if !ok {
+                out.push(Violation {
+                    rule: Rule::RegistryDep,
+                    file: file.to_string(),
+                    line,
+                    excerpt: format!("[dependencies.{name}] has no path/workspace source"),
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_dotted(&mut dotted, &mut out);
+            let name = line.trim_matches(['[', ']']).trim().to_string();
+            if let Some(dep) = name
+                .strip_prefix("dependencies.")
+                .or_else(|| name.strip_prefix("dev-dependencies."))
+                .or_else(|| name.strip_prefix("workspace.dependencies."))
+            {
+                dotted = Some((lineno, dep.to_string(), false));
+                in_dep_section = false;
+            } else {
+                in_dep_section = is_dep_section(&name);
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = dotted.as_mut() {
+            if line.starts_with("path") || line.contains("workspace = true") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // An inline dependency entry: `name = spec`.
+        let Some((dep, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let dep = dep.trim();
+        let spec = spec.trim();
+        // Hermetic forms: `{ path = "…" }`, `{ workspace = true }`, and
+        // the dotted shorthand `name.workspace = true`.
+        let hermetic = spec.contains("path =")
+            || spec.contains("path=")
+            || spec.contains("workspace = true")
+            || spec.contains("workspace=true")
+            || (dep.ends_with(".workspace") && spec == "true");
+        let absolute = spec.contains("path = \"/") || spec.contains("path=\"/");
+        if !hermetic || absolute {
+            out.push(Violation {
+                rule: Rule::RegistryDep,
+                file: file.to_string(),
+                line: lineno,
+                excerpt: format!("{dep} = {spec}"),
+            });
+        }
+    }
+    flush_dotted(&mut dotted, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking.
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for e in entries {
+        let p = e.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scans a workspace rooted at `root`: every `crates/*/src/**/*.rs`,
+/// every `crates/*/Cargo.toml`, and the root `Cargo.toml`.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut out = Vec::new();
+    let rel = |p: &Path| {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        out.extend(scan_manifest(
+            &rel(&root_manifest),
+            &fs::read_to_string(&root_manifest)?,
+        ));
+    }
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let crate_name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.extend(scan_manifest(&rel(&manifest), &fs::read_to_string(&manifest)?));
+        }
+        let src = dir.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(&src, &mut files)?;
+            for f in files {
+                out.extend(scan_source(&crate_name, &rel(&f), &fs::read_to_string(&f)?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: the "no new violations" ratchet.
+
+/// Violation counts keyed by `(rule code, file)`.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Aggregates raw violations into baseline form.
+pub fn tally(violations: &[Violation]) -> Baseline {
+    let mut b = Baseline::new();
+    for v in violations {
+        *b.entry((v.rule.code().to_string(), v.file.clone())).or_default() += 1;
+    }
+    b
+}
+
+/// Parses `scripts/check-baseline.txt`: `<rule> <file> <count>` lines,
+/// `#` comments.
+pub fn parse_baseline(text: &str) -> Baseline {
+    let mut b = Baseline::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(n) = count.parse() {
+                b.insert((rule.to_string(), file.to_string()), n);
+            }
+        }
+    }
+    b
+}
+
+/// Renders a baseline back to file form.
+pub fn format_baseline(b: &Baseline) -> String {
+    let mut s = String::from(
+        "# netcheck baseline: per (rule, file) violation counts that are\n\
+         # tolerated today. The gate is \"no new violations\": counts may\n\
+         # shrink but never grow. Regenerate after a burn-down with:\n\
+         #   cargo run -p plan9-check -- --update-baseline\n",
+    );
+    for ((rule, file), count) in b {
+        s.push_str(&format!("{rule} {file} {count}\n"));
+    }
+    s
+}
+
+/// The verdict of comparing a scan against the baseline.
+pub struct Comparison {
+    /// `(rule, file, baseline, current)` where current > baseline.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// Entries that improved or vanished (burn-down progress).
+    pub improvements: Vec<(String, String, usize, usize)>,
+    pub total_current: usize,
+    pub total_baseline: usize,
+}
+
+impl Comparison {
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current violations against the baseline ratchet.
+pub fn compare(current: &Baseline, baseline: &Baseline) -> Comparison {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    for (key, &n) in current {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        if n > base {
+            regressions.push((key.0.clone(), key.1.clone(), base, n));
+        } else if n < base {
+            improvements.push((key.0.clone(), key.1.clone(), base, n));
+        }
+    }
+    for (key, &base) in baseline {
+        if !current.contains_key(key) && base > 0 {
+            improvements.push((key.0.clone(), key.1.clone(), base, 0));
+        }
+    }
+    Comparison {
+        regressions,
+        improvements,
+        total_current: current.values().sum(),
+        total_baseline: baseline.values().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(violations: &[Violation]) -> Vec<(Rule, usize)> {
+        violations.iter().map(|v| (v.rule, v.line)).collect()
+    }
+
+    #[test]
+    fn unwrap_in_kernel_crate_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let v = scan_source("streams", "f.rs", src);
+        assert_eq!(lines(&v), vec![(Rule::PanicPath, 2)]);
+    }
+
+    #[test]
+    fn unwrap_in_non_kernel_crate_ignored() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(scan_source("bench", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_string_and_comment_ignored() {
+        let src = "fn f() {\n    let s = \".unwrap()\";\n    // calling .unwrap() here would be bad\n    let r = r#\"also .expect( nothing\"#;\n}\n";
+        assert!(scan_source("streams", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checked_annotation_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // checked: caller guarantees Some\n}\n";
+        assert!(scan_source("streams", "f.rs", src).is_empty());
+        // …but an empty reason does not.
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // checked:\n}\n";
+        assert_eq!(scan_source("streams", "f.rs", src).len(), 1);
+        // A standalone annotation line blesses the next line only.
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // checked: length verified above\n    x.unwrap()\n}\nfn g(y: Option<u8>) -> u8 { y.unwrap() }\n";
+        assert_eq!(lines(&scan_source("streams", "f.rs", src)), vec![(Rule::PanicPath, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_region_skipped() {
+        let src = "fn live(x: Option<u8>) -> u8 { x.expect(\"x\") }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n}\n\
+                   fn live2(y: Option<u8>) -> u8 { y.unwrap() }\n";
+        assert_eq!(
+            lines(&scan_source("inet", "f.rs", src)),
+            vec![(Rule::PanicPath, 1), (Rule::PanicPath, 6)]
+        );
+    }
+
+    #[test]
+    fn raw_sync_flagged_outside_support() {
+        let src = "use std::sync::Mutex;\n";
+        assert_eq!(lines(&scan_source("netlog", "f.rs", src)), vec![(Rule::RawSync, 1)]);
+        assert!(scan_source("support", "f.rs", src).is_empty());
+        // Grouped import, Arc alone is fine.
+        let src = "use std::sync::{Arc, Weak};\n";
+        assert!(scan_source("streams", "f.rs", src).is_empty());
+        let src = "use std::sync::{Arc, Condvar};\n";
+        assert_eq!(scan_source("streams", "f.rs", src).len(), 1);
+        // Multi-line grouped import.
+        let src = "use std::sync::{\n    Arc,\n    RwLock,\n};\n";
+        assert_eq!(lines(&scan_source("streams", "f.rs", src)), vec![(Rule::RawSync, 3)]);
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_support() {
+        let src = "fn now() -> u64 {\n    std::time::SystemTime::now();\n    0\n}\n";
+        assert_eq!(lines(&scan_source("inet", "f.rs", src)), vec![(Rule::WallClock, 2)]);
+        assert!(scan_source("support", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn registry_dep_flagged() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\n  rand = \"0.8\"\nplan9-support = { workspace = true }\nlocal = { path = \"../local\" }\nrenamed = { package = \"bytes\", version = \"1\" }\n";
+        let v = scan_manifest("Cargo.toml", toml);
+        assert_eq!(
+            v.iter().map(|v| v.line).collect::<Vec<_>>(),
+            vec![5, 8],
+            "{v:?}"
+        );
+        assert!(v.iter().all(|v| v.rule == Rule::RegistryDep));
+    }
+
+    #[test]
+    fn dotted_dep_table_without_path_flagged() {
+        let toml = "[dependencies.rand]\nversion = \"0.8\"\n\n[dependencies.support]\npath = \"../support\"\n";
+        let v = scan_manifest("Cargo.toml", toml);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].excerpt.contains("rand"));
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_compare() {
+        let violations = vec![
+            Violation { rule: Rule::PanicPath, file: "a.rs".into(), line: 1, excerpt: "x".into() },
+            Violation { rule: Rule::PanicPath, file: "a.rs".into(), line: 9, excerpt: "y".into() },
+            Violation { rule: Rule::RawSync, file: "b.rs".into(), line: 2, excerpt: "z".into() },
+        ];
+        let current = tally(&violations);
+        let parsed = parse_baseline(&format_baseline(&current));
+        assert_eq!(parsed, current);
+
+        let mut baseline = current.clone();
+        // Ratchet: one more panic-path in a.rs than baseline fails…
+        baseline.insert(("panic-path".into(), "a.rs".into()), 1);
+        let c = compare(&current, &baseline);
+        assert!(!c.ok());
+        assert_eq!(c.regressions, vec![("panic-path".into(), "a.rs".into(), 1, 2)]);
+        // …and fewer than baseline is an improvement, still ok.
+        baseline.insert(("panic-path".into(), "a.rs".into()), 5);
+        let c = compare(&current, &baseline);
+        assert!(c.ok());
+        assert_eq!(c.improvements.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! `plan9-check`: run the netcheck lint pass against a workspace and
+//! gate on the baseline ratchet.
+//!
+//! ```text
+//! plan9-check [--root DIR] [--baseline FILE] [--list] [--update-baseline]
+//! ```
+//!
+//! Exit status: 0 when no rule has more violations than the baseline
+//! tolerates, 1 on regression (diagnostics printed per offending
+//! `file:line`), 2 on usage or I/O errors.
+
+use plan9_check::{compare, format_baseline, parse_baseline, scan_workspace, tally};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut list = false;
+    let mut update = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--list" => list = true,
+            "--update-baseline" => update = true,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("scripts/check-baseline.txt"));
+
+    let violations = match scan_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("plan9-check: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = tally(&violations);
+
+    if list {
+        for v in &violations {
+            println!("{v}");
+        }
+    }
+
+    if update {
+        if let Err(e) = std::fs::write(&baseline_path, format_baseline(&current)) {
+            eprintln!("plan9-check: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "plan9-check: baseline updated: {} violations across {} (rule, file) entries",
+            current.values().sum::<usize>(),
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Default::default(),
+        Err(e) => {
+            eprintln!("plan9-check: reading {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare(&current, &baseline);
+    if !cmp.ok() {
+        eprintln!("plan9-check: NEW violations beyond the baseline:");
+        for (rule, file, base, now) in &cmp.regressions {
+            eprintln!("  {rule} in {file}: {now} (baseline {base})");
+            for v in violations.iter().filter(|v| v.rule.code() == rule && &v.file == file) {
+                eprintln!("    {v}");
+            }
+        }
+        eprintln!(
+            "plan9-check: FAIL: fix the new violations (or, for a justified \
+             infallible call, annotate it `// checked: <reason>`)"
+        );
+        return ExitCode::from(1);
+    }
+
+    for (rule, file, base, now) in &cmp.improvements {
+        println!("plan9-check: burn-down: {rule} in {file}: {base} -> {now}");
+    }
+    if !cmp.improvements.is_empty() {
+        println!(
+            "plan9-check: baseline is stale high; ratchet it down with \
+             `cargo run -p plan9-check -- --update-baseline`"
+        );
+    }
+    println!(
+        "plan9-check: OK: {} violations (baseline {}) across panic-path/raw-sync/wall-clock/registry-dep",
+        cmp.total_current, cmp.total_baseline
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "plan9-check: {err}\nusage: plan9-check [--root DIR] [--baseline FILE] [--list] [--update-baseline]"
+    );
+    ExitCode::from(2)
+}

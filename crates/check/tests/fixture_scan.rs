@@ -1,0 +1,170 @@
+//! End-to-end tests of the netcheck scanner against fixture workspaces.
+//!
+//! The fixtures mark every line the scanner must report with a
+//! `V:<rule>` marker comment, so the expected set is read from the
+//! fixtures themselves and the two can never drift apart.
+
+use plan9_check::scan_workspace;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Collects `(rule-code, file, line)` triples from `V:<rule>` markers in
+/// every `.rs` and `Cargo.toml` file under the fixture root.
+fn expected_markers(root: &Path) -> Vec<(String, String, usize)> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                walk(&p, out);
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    let mut out = Vec::new();
+    for path in files {
+        let scannable = path.extension().is_some_and(|x| x == "rs")
+            || path.file_name().is_some_and(|n| n == "Cargo.toml");
+        if !scannable {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        for (idx, line) in std::fs::read_to_string(&path).unwrap().lines().enumerate() {
+            if let Some(marker) = line.split("V:").nth(1) {
+                let rule = marker.split_whitespace().next().unwrap_or("");
+                // Prose like "`V:<rule>` marker" is not a seed; only the
+                // four real rule codes count.
+                if ["panic-path", "raw-sync", "wall-clock", "registry-dep"].contains(&rule) {
+                    out.push((rule.to_string(), rel.clone(), idx + 1));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn scanned(root: &Path) -> Vec<(String, String, usize)> {
+    let mut got: Vec<_> = scan_workspace(root)
+        .unwrap()
+        .into_iter()
+        .map(|v| (v.rule.code().to_string(), v.file, v.line))
+        .collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn violating_fixture_reports_exactly_the_marked_lines() {
+    let root = fixture("violating");
+    let want = expected_markers(&root);
+    assert!(
+        want.len() >= 10,
+        "fixture should seed every rule class, found only {want:?}"
+    );
+    // Every rule class is represented.
+    for rule in ["panic-path", "raw-sync", "wall-clock", "registry-dep"] {
+        assert!(
+            want.iter().any(|(r, _, _)| r == rule),
+            "fixture lost its {rule} seeds"
+        );
+    }
+    assert_eq!(scanned(&root), want);
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    let root = fixture("clean");
+    assert_eq!(expected_markers(&root), vec![]);
+    assert_eq!(scanned(&root), vec![]);
+}
+
+#[test]
+fn binary_fails_on_seeded_violations_with_empty_baseline() {
+    let out = Command::new(env!("CARGO_BIN_EXE_plan9-check"))
+        .arg("--root")
+        .arg(fixture("violating"))
+        .args(["--baseline", "/nonexistent/netcheck-baseline.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Diagnostics name file and line.
+    assert!(
+        stderr.contains("crates/streams/src/lib.rs:7"),
+        "diagnostics lost file:line: {stderr}"
+    );
+}
+
+#[test]
+fn binary_passes_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_plan9-check"))
+        .arg("--root")
+        .arg(fixture("clean"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn baseline_ratchet_tolerates_old_violations_but_not_new_ones() {
+    let dir = std::env::temp_dir().join(format!("netcheck-ratchet-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.txt");
+
+    // Record today's violations as the baseline...
+    let out = Command::new(env!("CARGO_BIN_EXE_plan9-check"))
+        .arg("--root")
+        .arg(fixture("violating"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--update-baseline")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // ...then the same scan passes the gate...
+    let out = Command::new(env!("CARGO_BIN_EXE_plan9-check"))
+        .arg("--root")
+        .arg(fixture("violating"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // ...but shrinking the baseline by hand makes the gate fail again.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let shrunk: String = text
+        .lines()
+        .filter(|l| !l.contains("panic-path"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&baseline, shrunk).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_plan9-check"))
+        .arg("--root")
+        .arg(fixture("violating"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

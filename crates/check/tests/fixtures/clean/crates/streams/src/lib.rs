@@ -1,0 +1,20 @@
+//! A kernel crate with nothing to report.
+
+/// Errors are returned, not unwrapped.
+pub fn careful(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "empty".to_string())
+}
+
+pub fn annotated() -> u32 {
+    let v: Option<u32> = Some(1);
+    // checked: constructed Some on the previous line
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::careful(Some(2)).unwrap(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Boundary-crate fixture: plan9-support implements the sanctioned
+//! wrappers, so raw sync primitives and the wall clock are legal here.
+
+use std::sync::{Condvar, Mutex, RwLock};
+
+pub static A: Mutex<u32> = Mutex::new(0);
+pub static B: RwLock<u32> = RwLock::new(0);
+
+pub fn park(_c: &Condvar) {}
+
+pub fn now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs()
+}

@@ -53,7 +53,7 @@ impl EiaDev {
                 .into_iter()
                 .map(|uart| Line {
                     uart,
-                    pending: Mutex::new(VecDeque::new()),
+                    pending: Mutex::named(VecDeque::new(), "core.eia.pending"),
                 })
                 .collect(),
             handles: AtomicU64::new(1),

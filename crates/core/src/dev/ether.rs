@@ -91,10 +91,10 @@ impl EtherDev {
     pub fn new(station: EtherStation) -> Arc<EtherDev> {
         let dev = Arc::new(EtherDev {
             station: Arc::new(station),
-            convs: Mutex::new(HashMap::new()),
-            next_conn: Mutex::new(1),
+            convs: Mutex::named(HashMap::new(), "core.ether.convs"),
+            next_conn: Mutex::named(1, "core.ether.nextconn"),
             handles: AtomicU64::new(1),
-            open_refs: Mutex::new(HashMap::new()),
+            open_refs: Mutex::named(HashMap::new(), "core.ether.openrefs"),
             in_packets: Counter::new("ether.in"),
             out_packets: Counter::new("ether.out"),
             unrouted: Counter::new("ether.unrouted"),
@@ -104,6 +104,7 @@ impl EtherDev {
         std::thread::Builder::new()
             .name("ether-rx".to_string())
             .spawn(move || rx_dev.rx_loop())
+            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn ether rx");
         dev
     }
@@ -161,7 +162,7 @@ impl EtherDev {
             promiscuous: AtomicBool::new(false),
             rx_tx: tx,
             rx,
-            refs: Mutex::new(0),
+            refs: Mutex::named(0, "core.ether.connrefs"),
         });
         self.convs.lock().insert(id, Arc::clone(&conv));
         conv
@@ -351,14 +352,13 @@ impl ProcFs for EtherDev {
             T_DATA => {
                 // Destination address, then payload; the driver appends
                 // the header with source address and the packet type.
-                if data.len() < 6 {
+                let Some(&dst) = data.first_chunk::<6>() else {
                     return Err(NineError::new("short ether write"));
-                }
+                };
                 let ptype = conv.ptype.load(Ordering::Relaxed);
                 if ptype < 0 {
                     return Err(NineError::new("packet type not set"));
                 }
-                let dst: [u8; 6] = data[..6].try_into().unwrap();
                 self.station
                     .send(dst, ptype as u16, &data[6..])
                     .map_err(NineError::new)?;

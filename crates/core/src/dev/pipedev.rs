@@ -34,8 +34,8 @@ impl PipeFs {
         Arc::new(PipeFs {
             ends: stream_pipe(),
             handles: AtomicU64::new(1),
-            refs: Mutex::new(HashMap::new()),
-            open_count: Mutex::new([0, 0]),
+            refs: Mutex::named(HashMap::new(), "core.pipedev.refs"),
+            open_count: Mutex::named([0, 0], "core.pipedev.open"),
         })
     }
 
@@ -68,8 +68,8 @@ impl Default for PipeFs {
         PipeFs {
             ends: stream_pipe(),
             handles: AtomicU64::new(1),
-            refs: Mutex::new(HashMap::new()),
-            open_count: Mutex::new([0, 0]),
+            refs: Mutex::named(HashMap::new(), "core.pipedev.refs"),
+            open_count: Mutex::named([0, 0], "core.pipedev.open"),
         }
     }
 }

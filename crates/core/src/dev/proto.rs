@@ -141,10 +141,10 @@ impl ProtoDev {
     pub fn new(ops: Box<dyn ProtoOps>) -> Arc<ProtoDev> {
         Arc::new(ProtoDev {
             ops,
-            conns: Mutex::new(HashMap::new()),
-            next_conn: Mutex::new(0),
+            conns: Mutex::named(HashMap::new(), "core.proto.conns"),
+            next_conn: Mutex::named(0, "core.proto.nextconn"),
             handles: AtomicU64::new(1),
-            open_refs: Mutex::new(HashMap::new()),
+            open_refs: Mutex::named(HashMap::new(), "core.proto.openrefs"),
         })
     }
 
@@ -163,9 +163,9 @@ impl ProtoDev {
         *next += 1;
         let conn = Arc::new(Conn {
             id,
-            state: Mutex::new(ConnState::Idle),
-            refs: Mutex::new(0),
-            pending: Mutex::new(Vec::new()),
+            state: Mutex::named(ConnState::Idle, "core.proto.connstate"),
+            refs: Mutex::named(0, "core.proto.connrefs"),
+            pending: Mutex::named(Vec::new(), "core.proto.pending"),
         });
         self.conns.lock().insert(id, Arc::clone(&conn));
         conn
@@ -664,7 +664,7 @@ mod tests {
 
     fn toy_dev() -> (Arc<ProtoDev>, Arc<ProtoDev>) {
         let rdv = Arc::new(Rendezvous {
-            boards: Mutex::new(HashMap::new()),
+            boards: Mutex::named(HashMap::new(), "core.proto.boards"),
         });
         let a = ProtoDev::new(Box::new(ToyProto {
             rdv: Arc::clone(&rdv),

@@ -546,20 +546,25 @@ impl ProtoOps for UdpProto {
 pub struct DkDispatcher {
     addr: String,
     line: Arc<DatakitLine>,
-    services: Mutex<HashMap<String, plan9_support::chan::Sender<(Arc<UrpConn>, String)>>>,
+    services: Mutex<HashMap<String, IncomingCallTx>>,
 }
+
+/// Hands an accepted call (its connection and calling address) to the
+/// service that announced the channel.
+type IncomingCallTx = plan9_support::chan::Sender<(Arc<UrpConn>, String)>;
 
 impl DkDispatcher {
     fn start(line: DatakitLine) -> Arc<DkDispatcher> {
         let d = Arc::new(DkDispatcher {
             addr: line.addr().to_string(),
             line: Arc::new(line),
-            services: Mutex::new(HashMap::new()),
+            services: Mutex::named(HashMap::new(), "core.machine.services"),
         });
         let disp = Arc::clone(&d);
         std::thread::Builder::new()
             .name("dk-listener".to_string())
             .spawn(move || disp.accept_loop())
+            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn dk listener");
         d
     }

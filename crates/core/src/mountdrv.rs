@@ -217,6 +217,7 @@ where
         .spawn(move || {
             let _ = plan9_ninep::server::serve(fs, Box::new(transport), Box::new(sink));
         })
+        // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
         .expect("spawn 9p server");
 }
 

@@ -95,10 +95,10 @@ impl Namespace {
     /// Creates a name space rooted at the given source.
     pub fn new(root: Source) -> Arc<Namespace> {
         Arc::new(Namespace {
-            table: RwLock::new(vec![MountPoint {
+            table: RwLock::named(vec![MountPoint {
                 path: "/".to_string(),
                 union: vec![root],
-            }]),
+            }], "core.namespace"),
         })
     }
 
@@ -108,7 +108,7 @@ impl Namespace {
     pub fn fork(&self) -> Arc<Namespace> {
         let table = self.table.read();
         Arc::new(Namespace {
-            table: RwLock::new(
+            table: RwLock::named(
                 table
                     .iter()
                     .map(|mp| MountPoint {
@@ -116,6 +116,7 @@ impl Namespace {
                         union: mp.union.clone(),
                     })
                     .collect(),
+                "core.namespace",
             ),
         })
     }
@@ -154,7 +155,7 @@ impl Namespace {
         };
         table.push(MountPoint { path, union });
         // Longest paths first so prefix search finds the deepest mount.
-        table.sort_by(|a, b| b.path.len().cmp(&a.path.len()));
+        table.sort_by_key(|mp| std::cmp::Reverse(mp.path.len()));
         Ok(())
     }
 
@@ -191,7 +192,7 @@ impl Namespace {
 
     /// Finds the deepest mount point that prefixes `path`, returning the
     /// union and the remaining components.
-    fn lookup<'a>(&self, path: &'a str) -> Option<(Vec<Source>, Vec<String>)> {
+    fn lookup(&self, path: &str) -> Option<(Vec<Source>, Vec<String>)> {
         let table = self.table.read();
         for mp in table.iter() {
             let rest = if mp.path == "/" {

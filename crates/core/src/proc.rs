@@ -44,8 +44,8 @@ impl Proc {
         Proc {
             ns,
             user: user.to_string(),
-            fds: Mutex::new(BTreeMap::new()),
-            next_fd: Mutex::new(0),
+            fds: Mutex::named(BTreeMap::new(), "core.proc.fds"),
+            next_fd: Mutex::named(0, "core.proc.nextfd"),
         }
     }
 
@@ -271,11 +271,7 @@ impl Proc {
             match src.fs.open(&src.node, OpenMode::READ) {
                 Ok(node) => {
                     let mut offset = 0u64;
-                    loop {
-                        let data = match src.fs.read(&node, offset, 16 * DIR_LEN) {
-                            Ok(d) => d,
-                            Err(_) => break,
-                        };
+                    while let Ok(data) = src.fs.read(&node, offset, 16 * DIR_LEN) {
                         if data.is_empty() {
                             break;
                         }

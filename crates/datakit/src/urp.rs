@@ -469,6 +469,7 @@ impl UrpConn {
     }
 
     /// Waits for a message until the timeout elapses.
+    #[allow(clippy::result_unit_err)] // the unit error *is* the timeout; no detail to carry
     pub fn recv_timeout(&self, d: Duration) -> Result<Option<Vec<u8>>, ()> {
         let deadline = Instant::now() + d;
         let mut recv = self.recv.lock();

@@ -84,11 +84,7 @@ impl NsFs {
             }
             if let Ok(node) = src.fs.open(&src.node, OpenMode::READ) {
                 let mut offset = 0u64;
-                loop {
-                    let Ok(data) = src.fs.read(&node, offset, 16 * plan9_ninep::dir::DIR_LEN)
-                    else {
-                        break;
-                    };
+                while let Ok(data) = src.fs.read(&node, offset, 16 * plan9_ninep::dir::DIR_LEN) {
                     if data.is_empty() {
                         break;
                     }

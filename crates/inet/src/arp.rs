@@ -67,10 +67,10 @@ impl ArpPacket {
         }
         Some(ArpPacket {
             op: u16::from_be_bytes([b[6], b[7]]),
-            sender_mac: b[8..14].try_into().unwrap(),
-            sender_ip: IpAddr(u32::from_be_bytes(b[14..18].try_into().unwrap())),
-            target_mac: b[18..24].try_into().unwrap(),
-            target_ip: IpAddr(u32::from_be_bytes(b[24..28].try_into().unwrap())),
+            sender_mac: b.get(8..14)?.try_into().ok()?,
+            sender_ip: IpAddr(u32::from_be_bytes(b.get(14..18)?.try_into().ok()?)),
+            target_mac: b.get(18..24)?.try_into().ok()?,
+            target_ip: IpAddr(u32::from_be_bytes(b.get(24..28)?.try_into().ok()?)),
         })
     }
 }
@@ -92,7 +92,7 @@ impl ArpCache {
     /// Creates an empty cache.
     pub fn new() -> ArpCache {
         ArpCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::named(HashMap::new(), "inet.arp"),
             learned: Condvar::new(),
         }
     }

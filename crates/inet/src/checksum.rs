@@ -33,7 +33,7 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 /// is read as one big-endian word and compared against the recomputed
 /// value.
 pub fn verify(data: &[u8]) -> bool {
-    if data.len() % 2 == 0 {
+    if data.len().is_multiple_of(2) {
         return internet_checksum(data) == 0;
     }
     if data.len() < 2 {

@@ -143,20 +143,16 @@ pub fn decode_il(b: &[u8]) -> Option<IlPacket> {
         typ: IlType::from_u8(b[4])?,
         src: u16::from_be_bytes([b[6], b[7]]),
         dst: u16::from_be_bytes([b[8], b[9]]),
-        id: u32::from_be_bytes(b[10..14].try_into().unwrap()),
-        ack: u32::from_be_bytes(b[14..18].try_into().unwrap()),
+        id: u32::from_be_bytes(b.get(10..14)?.try_into().ok()?),
+        ack: u32::from_be_bytes(b.get(14..18)?.try_into().ok()?),
         payload: b[IL_HDR..len].to_vec(),
     })
 }
 
 fn initial_seq() -> u32 {
-    use std::time::{SystemTime, UNIX_EPOCH};
-    // Clock-derived initial id, like the TCP side.
-    (SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .unwrap_or_default()
-        .subsec_nanos())
-        .wrapping_mul(2246822519)
+    // Clock-derived initial id, like the TCP side. The wall clock is a
+    // support-layer privilege (see `plan9_support::time`).
+    plan9_support::time::unix_subsec_nanos().wrapping_mul(2246822519)
 }
 
 fn seq_lt(a: u32, b: u32) -> bool {
@@ -306,18 +302,19 @@ struct Inner {
 
 impl Inner {
     fn record_rtt(&mut self, sample: Duration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(srtt) => {
                 let diff = srtt.abs_diff(sample);
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
-                self.srtt = Some((srtt * 7 + sample) / 8);
+                (srtt * 7 + sample) / 8
             }
-        }
-        self.rto = (self.srtt.unwrap() + 4 * self.rttvar).clamp(RTO_MIN, RTO_MAX);
+        };
+        self.srtt = Some(srtt);
+        self.rto = (srtt + 4 * self.rttvar).clamp(RTO_MIN, RTO_MAX);
     }
 }
 
@@ -334,8 +331,8 @@ pub struct IlConn {
 impl IlModule {
     pub(crate) fn new(netlog: &Arc<NetLog>) -> IlModule {
         IlModule {
-            conns: Mutex::new(HashMap::new()),
-            listeners: Mutex::new(HashMap::new()),
+            conns: Mutex::named(HashMap::new(), "inet.il.conns"),
+            listeners: Mutex::named(HashMap::new(), "inet.il.listeners"),
             ports: PortSpace::new(),
             stats: IlStats::new(netlog),
             netlog: Arc::clone(netlog),
@@ -527,7 +524,7 @@ impl IlConn {
         Arc::new(IlConn {
             stack: Arc::downgrade(stack),
             key,
-            inner: Mutex::new(Inner {
+            inner: Mutex::named(Inner {
                 state,
                 snd_id: iss,
                 unacked: BTreeMap::new(),
@@ -544,10 +541,10 @@ impl IlConn {
                 rttvar: Duration::ZERO,
                 rto: RTO_INITIAL,
                 err: None,
-            }),
+            }, "inet.il.conn"),
             readable: Condvar::new(),
             window_open: Condvar::new(),
-            pending_listener: Mutex::new(None),
+            pending_listener: Mutex::named(None, "inet.il.accept"),
         })
     }
 
@@ -715,6 +712,7 @@ impl IlConn {
         std::thread::Builder::new()
             .name("il-timer".to_string())
             .spawn(move || conn.timer_loop())
+            // checked: spawn fails only on OS thread exhaustion at connection setup, not per-packet
             .expect("spawn il timer");
     }
 
@@ -825,25 +823,23 @@ impl IlConn {
         {
             let mut inner = self.inner.lock();
             match (inner.state, pkt.typ) {
-                (IlState::Syncer, IlType::Sync) => {
-                    if pkt.ack == inner.snd_id {
-                        inner.rcv_id = pkt.id;
-                        inner.state = IlState::Established;
-                        inner.rtx_deadline = None;
-                        inner.retries = 0;
-                        send_ack = true;
-                        self.readable.notify_all();
-                    }
+                (IlState::Syncer, IlType::Sync) if pkt.ack == inner.snd_id => {
+                    inner.rcv_id = pkt.id;
+                    inner.state = IlState::Established;
+                    inner.rtx_deadline = None;
+                    inner.retries = 0;
+                    send_ack = true;
+                    self.readable.notify_all();
                 }
-                (IlState::Syncee, IlType::Ack) | (IlState::Syncee, IlType::Data) => {
-                    if pkt.ack == inner.snd_id {
-                        inner.state = IlState::Established;
-                        inner.rtx_deadline = None;
-                        inner.retries = 0;
-                        deliver_to_listener = true;
-                        if pkt.typ == IlType::Data {
-                            self.accept_data(&mut inner, pkt, &mut send_ack);
-                        }
+                (IlState::Syncee, IlType::Ack) | (IlState::Syncee, IlType::Data)
+                    if pkt.ack == inner.snd_id =>
+                {
+                    inner.state = IlState::Established;
+                    inner.rtx_deadline = None;
+                    inner.retries = 0;
+                    deliver_to_listener = true;
+                    if pkt.typ == IlType::Data {
+                        self.accept_data(&mut inner, pkt, &mut send_ack);
                     }
                 }
                 (IlState::Syncee, IlType::Sync) => {

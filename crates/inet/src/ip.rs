@@ -41,6 +41,7 @@ impl IpConfig {
     /// A host on a /24 with no gateway.
     pub fn local(addr: &str) -> IpConfig {
         IpConfig {
+            // checked: config-time constructor over a literal, not a packet path
             addr: IpAddr::parse(addr).expect("bad address literal"),
             mask: IpAddr::new(255, 255, 255, 0),
             gateway: None,
@@ -141,7 +142,7 @@ impl IpStack {
             station,
             loop_tx,
             arp: ArpCache::new(),
-            frag: Mutex::new(HashMap::new()),
+            frag: Mutex::named(HashMap::new(), "inet.ip.frag"),
             ip_id: AtomicU16::new(1),
             closed: AtomicBool::new(false),
             stats: IpStats::new(&netlog.registry),
@@ -156,12 +157,14 @@ impl IpStack {
         std::thread::Builder::new()
             .name(format!("ip-rx-{}", rx_stack.cfg.addr))
             .spawn(move || rx_stack.wire_loop())
+            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn ip-rx");
         // The loopback receiver: packets a host sends to itself.
         let lo_stack = Arc::clone(&stack);
         std::thread::Builder::new()
             .name(format!("ip-lo-{}", lo_stack.cfg.addr))
             .spawn(move || lo_stack.loop_loop(loop_rx))
+            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn ip-lo");
         stack
     }
@@ -456,8 +459,8 @@ pub fn decode_ip(packet: &[u8]) -> Option<(IpHeader, &[u8])> {
     let frag_word = u16::from_be_bytes([packet[6], packet[7]]);
     Some((
         IpHeader {
-            src: IpAddr(u32::from_be_bytes(packet[12..16].try_into().unwrap())),
-            dst: IpAddr(u32::from_be_bytes(packet[16..20].try_into().unwrap())),
+            src: IpAddr(u32::from_be_bytes(packet.get(12..16)?.try_into().ok()?)),
+            dst: IpAddr(u32::from_be_bytes(packet.get(16..20)?.try_into().ok()?)),
             proto: packet[9],
             id: u16::from_be_bytes([packet[4], packet[5]]),
             frag_offset: frag_word & 0x1fff,
@@ -529,7 +532,7 @@ pub(crate) mod tests {
         let (src, _sport, data) = sock_b.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(data, b"hello");
         assert_eq!(src, IpAddr::parse("10.0.0.1").unwrap());
-        assert!(a.arp.len() >= 1);
+        assert!(!a.arp.is_empty());
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl PortSpace {
     /// Creates an empty port space.
     pub fn new() -> PortSpace {
         PortSpace {
-            used: Mutex::new((HashSet::new(), EPHEMERAL_BASE)),
+            used: Mutex::named((HashSet::new(), EPHEMERAL_BASE), "inet.ports"),
         }
     }
 

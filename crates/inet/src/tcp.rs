@@ -155,8 +155,8 @@ pub fn decode_segment(b: &[u8]) -> Option<Segment> {
     Some(Segment {
         sport: u16::from_be_bytes([b[0], b[1]]),
         dport: u16::from_be_bytes([b[2], b[3]]),
-        seq: u32::from_be_bytes(b[4..8].try_into().unwrap()),
-        ack: u32::from_be_bytes(b[8..12].try_into().unwrap()),
+        seq: u32::from_be_bytes(b.get(4..8)?.try_into().ok()?),
+        ack: u32::from_be_bytes(b.get(8..12)?.try_into().ok()?),
         flags: offset_flags & 0x3f,
         window: u16::from_be_bytes([b[14], b[15]]),
         payload: b[data_off..].to_vec(),
@@ -302,19 +302,19 @@ impl Inner {
     }
 
     fn record_rtt(&mut self, sample: Duration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(srtt) => {
                 let diff = srtt.abs_diff(sample);
                 self.rttvar = (self.rttvar * 3 + diff) / 4;
-                self.srtt = Some((srtt * 7 + sample) / 8);
+                (srtt * 7 + sample) / 8
             }
-        }
-        let rto = self.srtt.unwrap() + 4 * self.rttvar;
-        self.rto = rto.clamp(RTO_MIN, RTO_MAX);
+        };
+        self.srtt = Some(srtt);
+        self.rto = (srtt + 4 * self.rttvar).clamp(RTO_MIN, RTO_MAX);
     }
 }
 
@@ -335,8 +335,8 @@ pub struct TcpConn {
 impl TcpModule {
     pub(crate) fn new(netlog: &Arc<NetLog>) -> TcpModule {
         TcpModule {
-            conns: Mutex::new(HashMap::new()),
-            listeners: Mutex::new(HashMap::new()),
+            conns: Mutex::named(HashMap::new(), "inet.tcp.conns"),
+            listeners: Mutex::named(HashMap::new(), "inet.tcp.listeners"),
             ports: PortSpace::new(),
             stats: TcpStats::new(netlog),
             netlog: Arc::clone(netlog),
@@ -542,13 +542,9 @@ impl Drop for TcpListener {
 }
 
 fn initial_seq() -> u32 {
-    use std::time::{SystemTime, UNIX_EPOCH};
-    // Clock-derived ISS, like 4.4BSD; fine for a simulator.
-    (SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .unwrap_or_default()
-        .subsec_nanos())
-        .wrapping_mul(2654435761)
+    // Clock-derived ISS, like 4.4BSD; fine for a simulator. The wall
+    // clock is a support-layer privilege (see `plan9_support::time`).
+    plan9_support::time::unix_subsec_nanos().wrapping_mul(2654435761)
 }
 
 impl std::fmt::Debug for TcpConn {
@@ -569,7 +565,7 @@ impl TcpConn {
         Arc::new(TcpConn {
             stack: Arc::downgrade(stack),
             key,
-            inner: Mutex::new(Inner {
+            inner: Mutex::named(Inner {
                 state,
                 snd_una: iss,
                 snd_nxt: iss,
@@ -596,10 +592,10 @@ impl TcpConn {
                 ssthresh: RCV_BUF_MAX as u32,
                 dup_acks: 0,
                 trace: None,
-            }),
+            }, "inet.tcp.conn"),
             readable: Condvar::new(),
             writable: Condvar::new(),
-            pending_listener: Mutex::new(None),
+            pending_listener: Mutex::named(None, "inet.tcp.accept"),
         })
     }
 
@@ -849,6 +845,7 @@ impl TcpConn {
         std::thread::Builder::new()
             .name("tcp-timer".to_string())
             .spawn(move || conn.timer_loop())
+            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn tcp timer");
     }
 
@@ -1150,7 +1147,9 @@ impl TcpConn {
                         }
                         break;
                     }
-                    let data = inner.ooo.remove(&s).unwrap();
+                    let Some(data) = inner.ooo.remove(&s) else {
+                        break; // key observed under this same lock
+                    };
                     inner.rcv_nxt = inner.rcv_nxt.wrapping_add(data.len() as u32);
                     inner.recv_buf.extend(data);
                 }

@@ -43,7 +43,7 @@ impl UdpModule {
     pub(crate) fn new(netlog: &Arc<NetLog>) -> UdpModule {
         let reg = &netlog.registry;
         UdpModule {
-            binds: Mutex::new(HashMap::new()),
+            binds: Mutex::named(HashMap::new(), "inet.udp.binds"),
             ports: PortSpace::new(),
             unreachable: reg.counter("udp.unreachable"),
             csum_errors: reg.counter("udp.csumerr"),

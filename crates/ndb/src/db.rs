@@ -54,10 +54,7 @@ pub fn file_mtime(path: &Path) -> crate::Result<u64> {
     let mtime = meta
         .modified()
         .map_err(|e| format!("ndb: mtime {}: {e}", path.display()))?;
-    Ok(mtime
-        .duration_since(std::time::UNIX_EPOCH)
-        .unwrap_or_default()
-        .as_secs())
+    Ok(plan9_support::time::to_unix_seconds(mtime))
 }
 
 /// The network database: an ordered list of files.

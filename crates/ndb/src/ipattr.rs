@@ -89,7 +89,7 @@ pub fn ipattr_search(db: &Db, src_name: &str, attr: &str) -> Vec<String> {
             }
         }
         // Most specific (largest mask) first.
-        nets.sort_by(|a, b| b.0.cmp(&a.0));
+        nets.sort_by_key(|(mask, _)| std::cmp::Reverse(*mask));
         for (_, e) in nets {
             push(e.all(attr));
         }

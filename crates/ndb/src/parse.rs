@@ -52,8 +52,6 @@ impl Entry {
             };
             if i == 0 {
                 out.push_str(&field);
-            } else if i <= 0 {
-                unreachable!()
             } else {
                 out.push_str("\n\t");
                 out.push_str(&field);
@@ -92,7 +90,7 @@ fn parse_line(line: &str, pairs: &mut Vec<(String, String)>) {
         // Value. ndb files (and the paper's own listings) sometimes put
         // spaces around the '='; tolerate them.
         let mut value = String::new();
-        while matches!(chars.peek(), Some(c) if *c == ' ' || *c == '\t') {
+        if matches!(chars.peek(), Some(c) if *c == ' ' || *c == '\t') {
             // Only a lookahead: if no '=' follows the run of spaces, the
             // pairs are separate flags.
             let mut probe = chars.clone();
@@ -102,7 +100,6 @@ fn parse_line(line: &str, pairs: &mut Vec<(String, String)>) {
             if matches!(probe.peek(), Some('=')) {
                 chars = probe;
             }
-            break;
         }
         if matches!(chars.peek(), Some('=')) {
             chars.next();

@@ -206,7 +206,7 @@ impl Histogram {
     /// `name <lo>-<hi>us <count>` line per occupied bucket.
     pub fn render(&self) -> String {
         let count = self.count();
-        let avg = if count == 0 { 0 } else { self.sum_us() / count };
+        let avg = self.sum_us().checked_div(count).unwrap_or(0);
         let mut out = format!("{} count {} avg {}us\n", self.name(), count, avg);
         for (b, cell) in self.inner.buckets.iter().enumerate() {
             let n = cell.load(Ordering::Relaxed);

@@ -47,11 +47,11 @@ pub fn cyclone_link(profile: LinkProfile) -> (CycloneEnd, CycloneEnd) {
     (
         CycloneEnd {
             tx: a2b_tx,
-            rx: Mutex::new(b2a_rx),
+            rx: Mutex::named(b2a_rx, "netsim.cyclone.rx"),
         },
         CycloneEnd {
             tx: b2a_tx,
-            rx: Mutex::new(a2b_rx),
+            rx: Mutex::named(a2b_rx, "netsim.cyclone.rx"),
         },
     )
 }

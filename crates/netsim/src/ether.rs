@@ -74,8 +74,8 @@ impl EtherFrame {
             return None;
         }
         Some(EtherFrame {
-            dst: buf[0..6].try_into().unwrap(),
-            src: buf[6..12].try_into().unwrap(),
+            dst: buf.get(0..6)?.try_into().ok()?,
+            src: buf.get(6..12)?.try_into().ok()?,
             ethertype: u16::from_be_bytes([buf[12], buf[13]]),
             payload: buf[ETHER_HDR..].to_vec(),
         })
@@ -103,7 +103,7 @@ impl EtherSegment {
     pub fn new(profile: LinkProfile) -> Arc<EtherSegment> {
         Arc::new(EtherSegment {
             medium: Medium::new(profile),
-            stations: Mutex::new(Vec::new()),
+            stations: Mutex::named(Vec::new(), "netsim.ether.stations"),
         })
     }
 
@@ -179,7 +179,7 @@ impl EtherSegment {
         Ok(())
     }
 
-    fn medium_impair(&self, f: &mut Vec<u8>) -> (usize, Duration) {
+    fn medium_impair(&self, f: &mut [u8]) -> (usize, Duration) {
         self.medium.impair(f)
     }
 }

@@ -38,7 +38,7 @@ impl DatakitSwitch {
     pub fn new(profile: LinkProfile) -> Arc<DatakitSwitch> {
         Arc::new(DatakitSwitch {
             inner: Arc::new(SwitchInner {
-                lines: Mutex::new(HashMap::new()),
+                lines: Mutex::named(HashMap::new(), "netsim.fabric.lines"),
                 profile,
             }),
         })
@@ -110,15 +110,15 @@ impl DatakitLine {
             local: self.addr.clone(),
             remote: addr.to_string(),
             tx: a2b_tx,
-            rx: Mutex::new(b2a_rx),
-            reject_reason: Mutex::new(None),
+            rx: Mutex::named(b2a_rx, "netsim.fabric.rx"),
+            reject_reason: Mutex::named(None, "netsim.fabric.reject"),
         };
         let far = Circuit {
             local: addr.to_string(),
             remote: self.addr.clone(),
             tx: b2a_tx,
-            rx: Mutex::new(a2b_rx),
-            reject_reason: Mutex::new(None),
+            rx: Mutex::named(a2b_rx, "netsim.fabric.rx"),
+            reject_reason: Mutex::named(None, "netsim.fabric.reject"),
         };
         peer_tx
             .send(IncomingCall {
@@ -178,13 +178,8 @@ impl Circuit {
     /// Blocks for the next frame; `None` means the peer hung up (check
     /// [`Circuit::reject_reason`] for a Datakit rejection).
     pub fn recv(&self) -> Option<Vec<u8>> {
-        loop {
-            let frame = self.rx.lock().recv()?;
-            match self.classify(frame) {
-                Some(f) => return Some(f),
-                None => return None,
-            }
-        }
+        let frame = self.rx.lock().recv()?;
+        self.classify(frame)
     }
 
     /// Waits for a frame until the timeout elapses.

@@ -29,6 +29,7 @@ impl PipeEnd {
 
     /// Waits for a message until the timeout elapses; `Ok(None)` on
     /// hangup, `Err(())` on timeout.
+    #[allow(clippy::result_unit_err)] // the unit error *is* the timeout; no detail to carry
     pub fn recv_timeout(&self, d: Duration) -> Result<Option<Vec<u8>>, ()> {
         match self.rx.recv_timeout(d) {
             Ok(f) => Ok(Some(f)),

@@ -104,9 +104,10 @@ impl LinkProfile {
     /// The time the line is busy transmitting `len` payload bytes.
     pub fn tx_time(&self, len: usize) -> Duration {
         let mut t = self.per_frame;
-        if self.bandwidth_bps > 0 {
-            let bits = ((len + self.frame_overhead) * 8) as u64;
-            t += Duration::from_nanos(bits.saturating_mul(1_000_000_000) / self.bandwidth_bps);
+        let bits = ((len + self.frame_overhead) * 8) as u64;
+        // bandwidth 0 means "infinitely fast": no serialization term.
+        if let Some(ns) = bits.saturating_mul(1_000_000_000).checked_div(self.bandwidth_bps) {
+            t += Duration::from_nanos(ns);
         }
         t
     }

@@ -79,8 +79,8 @@ impl Medium {
     pub fn new(profile: LinkProfile) -> Arc<Medium> {
         Arc::new(Medium {
             profile,
-            busy_until: Mutex::new(Instant::now()),
-            rng: Mutex::new(SmallRng::seed_from_u64(0x9fc0de)),
+            busy_until: Mutex::named(Instant::now(), "netsim.wire.busy"),
+            rng: Mutex::named(SmallRng::seed_from_u64(0x9fc0de), "netsim.wire.rng"),
             stats: WireStats::new(),
         })
     }
@@ -119,7 +119,7 @@ impl Medium {
     /// Rolls the impairment dice for one frame, possibly mutating it.
     /// Returns how many copies to deliver (0 = dropped) and an extra
     /// delay for reordering.
-    pub(crate) fn impair(&self, frame: &mut Vec<u8>) -> (usize, Duration) {
+    pub(crate) fn impair(&self, frame: &mut [u8]) -> (usize, Duration) {
         let p = &self.profile;
         self.stats.sent.inc();
         if p.loss == 0.0 && p.dup == 0.0 && p.corrupt == 0.0 && p.reorder == 0.0 {

@@ -47,8 +47,8 @@ impl NineClient {
     /// reply-demultiplexing thread.
     pub fn new(sink: Box<dyn MsgSink>, mut source: Box<dyn MsgSource>) -> NineClient {
         let shared = Arc::new(ClientShared {
-            pending: Mutex::new(HashMap::new()),
-            sink: Mutex::new(sink),
+            pending: Mutex::named(HashMap::new(), "ninep.client.pending"),
+            sink: Mutex::named(sink, "ninep.client.sink"),
             next_tag: AtomicU16::new(0),
             next_fid: AtomicU16::new(0),
             hungup: AtomicBool::new(false),

@@ -88,16 +88,24 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array; short input is a
+    /// decode error, never a panic.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N]> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| NineError::new(errstr::EBADMSG))
+    }
+
     fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     fn qid(&mut self) -> Result<Qid> {
@@ -112,7 +120,7 @@ impl<'a> Dec<'a> {
     }
 
     fn chal(&mut self) -> Result<[u8; CHAL_LEN]> {
-        Ok(self.take(CHAL_LEN)?.try_into().unwrap())
+        self.take_arr()
     }
 
     fn done(&self) -> Result<()> {

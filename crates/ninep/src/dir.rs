@@ -110,26 +110,50 @@ impl Dir {
         if buf.len() < DIR_LEN {
             return Err(NineError::new(errstr::EBADMSG));
         }
+        // Field readers that turn a short buffer into a decode error
+        // instead of a panic (the length check above makes them
+        // infallible today, but this body must stay panic-free).
+        fn le16(buf: &[u8], o: usize) -> Result<u16> {
+            let b = buf
+                .get(o..o + 2)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| NineError::new(errstr::EBADMSG))?;
+            Ok(u16::from_le_bytes(b))
+        }
+        fn le32(buf: &[u8], o: usize) -> Result<u32> {
+            let b = buf
+                .get(o..o + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| NineError::new(errstr::EBADMSG))?;
+            Ok(u32::from_le_bytes(b))
+        }
+        fn le64(buf: &[u8], o: usize) -> Result<u64> {
+            let b = buf
+                .get(o..o + 8)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| NineError::new(errstr::EBADMSG))?;
+            Ok(u64::from_le_bytes(b))
+        }
         let name = get_name(&buf[0..NAME_LEN])?;
         let uid = get_name(&buf[NAME_LEN..2 * NAME_LEN])?;
         let gid = get_name(&buf[2 * NAME_LEN..3 * NAME_LEN])?;
         let mut o = 3 * NAME_LEN;
         let qid = Qid {
-            path: u32::from_le_bytes(buf[o..o + 4].try_into().unwrap()),
-            version: u32::from_le_bytes(buf[o + 4..o + 8].try_into().unwrap()),
+            path: le32(buf, o)?,
+            version: le32(buf, o + 4)?,
         };
         o += 8;
-        let mode = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let mode = le32(buf, o)?;
         o += 4;
-        let atime = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let atime = le32(buf, o)?;
         o += 4;
-        let mtime = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+        let mtime = le32(buf, o)?;
         o += 4;
-        let length = u64::from_le_bytes(buf[o..o + 8].try_into().unwrap());
+        let length = le64(buf, o)?;
         o += 8;
-        let dev_type = u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+        let dev_type = le16(buf, o)?;
         o += 2;
-        let dev = u16::from_le_bytes(buf[o..o + 2].try_into().unwrap());
+        let dev = le16(buf, o)?;
         Ok(Dir {
             name,
             uid,

@@ -76,9 +76,8 @@ impl<R: ByteSource> FramedSource<R> {
 impl<R: ByteSource> MsgSource for FramedSource<R> {
     fn recvmsg(&mut self) -> Result<Option<Vec<u8>>> {
         loop {
-            if self.buf.len() >= FRAME_HDR {
-                let need =
-                    u32::from_le_bytes(self.buf[..FRAME_HDR].try_into().unwrap()) as usize;
+            if let Some(&hdr) = self.buf.first_chunk::<FRAME_HDR>() {
+                let need = u32::from_le_bytes(hdr) as usize;
                 if need > FRAME_MAX {
                     return Err(NineError::new(errstr::EBADMSG));
                 }

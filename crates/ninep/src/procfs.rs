@@ -148,7 +148,7 @@ pub trait ProcFs: Send + Sync {
 /// Serializes a directory listing for a `read` at `offset`/`count`,
 /// returning whole entries only, as 9P requires.
 pub fn read_dir_slice(entries: &[Dir], offset: u64, count: usize) -> Result<Vec<u8>> {
-    if offset % DIR_LEN as u64 != 0 {
+    if !offset.is_multiple_of(DIR_LEN as u64) {
         return Err(NineError::new("directory read not aligned"));
     }
     let start = (offset / DIR_LEN as u64) as usize;
@@ -220,10 +220,10 @@ impl MemFs {
         Arc::new(MemFs {
             name: name.to_string(),
             owner: owner.to_string(),
-            inner: Mutex::new(MemInner {
+            inner: Mutex::named(MemInner {
                 nodes,
                 next_path: 1,
-            }),
+            }, "ninep.procfs"),
             handles: AtomicU64::new(1),
         })
     }
@@ -256,6 +256,7 @@ impl MemFs {
                 .find(|c| inner.nodes[c].dir.name == *part);
             match existing {
                 Some(c) if last => {
+                    // checked: `c` came from this node map under the same lock
                     let node = inner.nodes.get_mut(&c).unwrap();
                     node.data = contents.to_vec();
                     node.dir.length = contents.len() as u64;
@@ -283,6 +284,7 @@ impl MemFs {
                             removed: false,
                         },
                     );
+                    // checked: `cur` walked the live tree under this same lock
                     inner.nodes.get_mut(&cur).unwrap().children.push(path_no);
                     cur = path_no;
                 }
@@ -347,6 +349,7 @@ impl ProcFs for MemFs {
     fn open(&self, n: &ServeNode, mode: OpenMode) -> Result<ServeNode> {
         let id = self.node_for(n)?;
         let mut inner = self.inner.lock();
+        // checked: node_for validated `id` against the live tree
         let node = inner.nodes.get_mut(&id).unwrap();
         if node.dir.is_dir() && mode.access() != OREAD {
             return Err(NineError::new(errstr::EISDIR));
@@ -394,6 +397,7 @@ impl ProcFs for MemFs {
                 removed: false,
             },
         );
+        // checked: node_for validated `id` against the live tree
         inner.nodes.get_mut(&id).unwrap().children.push(path_no);
         Ok(ServeNode::new(qid, n.handle))
     }
@@ -422,6 +426,7 @@ impl ProcFs for MemFs {
     fn write(&self, n: &ServeNode, offset: u64, data: &[u8]) -> Result<usize> {
         let id = self.node_for(n)?;
         let mut inner = self.inner.lock();
+        // checked: node_for validated `id` against the live tree
         let node = inner.nodes.get_mut(&id).unwrap();
         if node.dir.is_dir() {
             return Err(NineError::new(errstr::EISDIR));
@@ -448,7 +453,9 @@ impl ProcFs for MemFs {
             return Err(NineError::new("directory not empty"));
         }
         let parent = inner.nodes[&id].parent;
+        // checked: node_for validated `id`; `parent` is a live node's parent link
         inner.nodes.get_mut(&id).unwrap().removed = true;
+        // checked: node_for validated `id`; `parent` is a live node's parent link
         let p = inner.nodes.get_mut(&parent).unwrap();
         p.children.retain(|c| *c != id);
         inner.nodes.remove(&id);
@@ -475,6 +482,7 @@ impl ProcFs for MemFs {
                 return Err(NineError::new(errstr::EEXIST));
             }
         }
+        // checked: node_for validated `id` against the live tree
         let node = inner.nodes.get_mut(&id).unwrap();
         node.dir.name = d.name.clone();
         node.dir.mode = (node.dir.mode & crate::qid::CHDIR) | (d.mode & 0o777);

@@ -85,9 +85,9 @@ pub fn serve_with_identity(
 ) -> Result<()> {
     let shared = Arc::new(ServerShared {
         fs,
-        fids: Mutex::new(HashMap::new()),
-        flushed: Mutex::new(HashSet::new()),
-        sink: Mutex::new(sink),
+        fids: Mutex::named(HashMap::new(), "ninep.server.fids"),
+        flushed: Mutex::named(HashSet::new(), "ninep.server.flushed"),
+        sink: Mutex::named(sink, "ninep.server.sink"),
         identity,
     });
     let mut workers = Vec::new();

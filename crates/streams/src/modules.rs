@@ -24,8 +24,11 @@ pub struct Snoop {
     /// Bytes seen moving upstream.
     pub up_bytes: Counter,
     /// When set, a copy of every data block is delivered here.
-    tap: Mutex<Option<Box<dyn Fn(Block) + Send + Sync>>>,
+    tap: Mutex<Option<TapFn>>,
 }
+
+/// A snoop tap: called with a copy of every data block.
+type TapFn = Box<dyn Fn(Block) + Send + Sync>;
 
 impl Snoop {
     /// Creates a counting snoop with no tap.
@@ -35,7 +38,7 @@ impl Snoop {
             down_bytes: Counter::new("snoop.downbytes"),
             up_blocks: Counter::new("snoop.upblocks"),
             up_bytes: Counter::new("snoop.upbytes"),
-            tap: Mutex::new(None),
+            tap: Mutex::named(None, "streams.tap"),
         })
     }
 
@@ -106,7 +109,7 @@ impl DelimMod {
     /// Creates the module with an empty reassembly buffer.
     pub fn new() -> Arc<DelimMod> {
         Arc::new(DelimMod {
-            reassembly: Mutex::new(Vec::new()),
+            reassembly: Mutex::named(Vec::new(), "streams.reasm"),
         })
     }
 }
@@ -114,7 +117,7 @@ impl DelimMod {
 impl Default for DelimMod {
     fn default() -> Self {
         DelimMod {
-            reassembly: Mutex::new(Vec::new()),
+            reassembly: Mutex::named(Vec::new(), "streams.reasm"),
         }
     }
 }
@@ -149,10 +152,10 @@ impl StreamModule for DelimMod {
         let mut buf = self.reassembly.lock();
         buf.extend_from_slice(&b.data);
         loop {
-            if buf.len() < 4 {
-                return Ok(());
-            }
-            let need = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            let Some(hdr) = buf.first_chunk::<4>() else {
+                return Ok(()); // incomplete length prefix; wait for more
+            };
+            let need = u32::from_le_bytes(*hdr) as usize;
             if buf.len() < 4 + need {
                 return Ok(());
             }
@@ -181,7 +184,7 @@ impl ByteStuff {
         Arc::new(ByteStuff {
             flag: 0x7e,
             esc: 0x7d,
-            partial: Mutex::new((Vec::new(), false)),
+            partial: Mutex::named((Vec::new(), false), "streams.bytestuff.partial"),
         })
     }
 }

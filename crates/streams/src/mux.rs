@@ -37,7 +37,7 @@ pub struct Mux {
     /// Classifies an upstream block into (conversation key, header bytes
     /// to strip). `None` means unclassifiable; the block is counted and
     /// dropped.
-    classify: Box<dyn Fn(&Block) -> Option<(i64, usize)> + Send + Sync>,
+    classify: ClassifyFn,
     ports: Mutex<Vec<Arc<MuxPort>>>,
     next_id: AtomicU64,
     /// Unroutable upstream blocks, for the device's `stats` file.
@@ -45,6 +45,9 @@ pub struct Mux {
     /// Blocks delivered upstream.
     pub delivered: AtomicU64,
 }
+
+/// An upstream classifier: block -> (conversation key, header bytes).
+type ClassifyFn = Box<dyn Fn(&Block) -> Option<(i64, usize)> + Send + Sync>;
 
 impl Mux {
     /// The key that receives a copy of everything (packet type `-1`).
@@ -58,7 +61,7 @@ impl Mux {
         Arc::new(Mux {
             name: name.to_string(),
             classify: Box::new(classify),
-            ports: Mutex::new(Vec::new()),
+            ports: Mutex::named(Vec::new(), "streams.mux.ports"),
             next_id: AtomicU64::new(1),
             dropped: AtomicU64::new(0),
             delivered: AtomicU64::new(0),

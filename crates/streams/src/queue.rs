@@ -48,12 +48,12 @@ impl Queue {
     /// Creates a queue bounded at `limit` bytes of buffered data.
     pub fn new(limit: usize) -> Queue {
         Queue {
-            inner: Mutex::new(QueueInner {
+            inner: Mutex::named(QueueInner {
                 blocks: VecDeque::new(),
                 bytes: 0,
                 closed: false,
                 hungup: false,
-            }),
+            }, "streams.queue"),
             readable: Condvar::new(),
             writable: Condvar::new(),
             limit,
@@ -136,6 +136,7 @@ impl Queue {
 
     /// Like [`Queue::get`] with a timeout; `Ok(None)` is end-of-file,
     /// `Err(())` is a timeout with the queue still live.
+    #[allow(clippy::result_unit_err)] // the unit error *is* the timeout; no detail to carry
     pub fn get_timeout(&self, d: Duration) -> Result<Option<Block>, ()> {
         let deadline = std::time::Instant::now() + d;
         let mut inner = self.inner.lock();

@@ -58,10 +58,10 @@ pub fn stream_pipe() -> (Arc<Stream>, Arc<Stream>) {
     let a = Stream::bare();
     let b = Stream::bare();
     let a_dev = Arc::new(PipeDev {
-        peer: Mutex::new(Arc::downgrade(&b)),
+        peer: Mutex::named(Arc::downgrade(&b), "streams.spipe.peer"),
     });
     let b_dev = Arc::new(PipeDev {
-        peer: Mutex::new(Arc::downgrade(&a)),
+        peer: Mutex::named(Arc::downgrade(&a), "streams.spipe.peer"),
     });
     a.set_device(a_dev);
     b.set_device(b_dev);

@@ -19,8 +19,11 @@ pub const MAX_ATOMIC_WRITE: usize = 32 * 1024;
 /// kernel's compiled-in table of stream modules.
 #[derive(Default)]
 pub struct ModuleRegistry {
-    makers: RwLock<HashMap<String, Box<dyn Fn() -> Arc<dyn StreamModule> + Send + Sync>>>,
+    makers: RwLock<HashMap<String, ModuleMaker>>,
 }
+
+/// A registered module factory, invoked on each `push`.
+type ModuleMaker = Box<dyn Fn() -> Arc<dyn StreamModule> + Send + Sync>;
 
 impl ModuleRegistry {
     /// Creates an empty registry.
@@ -110,7 +113,12 @@ impl StreamInner {
                     }
                     return self.read_q.put(b);
                 }
-                let (id, module) = self.slot_at(pos - 1).unwrap();
+                // The module list can change between the caller finding
+                // `pos` and this lookup (a concurrent pop), so a missing
+                // slot is a real runtime condition, not a bug.
+                let Some((id, module)) = self.slot_at(pos - 1) else {
+                    return Err(NineError::new("stream module vanished"));
+                };
                 let ctx = ModuleCtx {
                     inner: Arc::clone(self),
                     my_id: id,
@@ -140,13 +148,13 @@ impl Stream {
     pub fn new(registry: Arc<ModuleRegistry>) -> Arc<Stream> {
         Arc::new(Stream {
             inner: Arc::new(StreamInner {
-                modules: RwLock::new(Vec::new()),
+                modules: RwLock::named(Vec::new(), "streams.stream.modules"),
                 read_q: Arc::new(Queue::default()),
                 closed: AtomicBool::new(false),
                 next_id: AtomicU64::new(1),
                 registry,
             }),
-            read_state: Mutex::new(ReadState::default()),
+            read_state: Mutex::named(ReadState::default(), "streams.stream.read"),
         })
     }
 
@@ -298,7 +306,11 @@ impl Stream {
             }
             return self.inner.read_q.put(b);
         }
-        let (id, _) = self.inner.slot_at(n - 1).unwrap();
+        // A module may have been popped since `n` was read; fall back to
+        // the read queue rather than panicking mid-delivery.
+        let Some((id, _)) = self.inner.slot_at(n - 1) else {
+            return self.inner.read_q.put(b);
+        };
         let ctx = ModuleCtx {
             inner: Arc::clone(&self.inner),
             my_id: id,

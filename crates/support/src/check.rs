@@ -194,7 +194,7 @@ mod tests {
     props! {
         fn prop_macro_defines_runnable_test(g, cases = 8) {
             let v = g.vec(1..10, |g| g.u16());
-            assert_eq!(v.len(), v.iter().count());
+            assert!((1..10).contains(&v.len()));
         }
     }
 }

@@ -17,6 +17,12 @@
 //! | [`bench`] | `criterion`       | micro-bench harness, no-op-able          |
 //! | [`json`]  | `serde_json`      | string quoting for hand-rolled emitters  |
 //!
+//! Two modules are boundaries rather than replacements: [`time`] is the
+//! workspace's only legal wall-clock read, and [`lockdep`] (debug
+//! builds only) order-checks every lock built with
+//! [`sync::Mutex::named`]. The `plan9-check` scanner enforces both
+//! boundaries statically.
+//!
 //! Everything here sits on `std` alone.
 
 pub mod bench;
@@ -24,5 +30,8 @@ pub mod buf;
 pub mod chan;
 pub mod check;
 pub mod json;
+#[cfg(debug_assertions)]
+pub mod lockdep;
 pub mod rng;
 pub mod sync;
+pub mod time;

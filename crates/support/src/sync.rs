@@ -10,15 +10,25 @@
 //! - [`RwLock::read`]/[`RwLock::write`] → guards, no `Result`
 //! - [`Condvar::wait`] takes `&mut MutexGuard` instead of consuming it
 //! - [`Condvar::wait_until`] returns a [`WaitTimeoutResult`]
+//!
+//! Locks built with [`Mutex::named`]/[`RwLock::named`] additionally
+//! participate in [`lockdep`](crate::lockdep) order checking in debug
+//! builds; in release builds `named` is exactly `new` and the checking
+//! machinery does not exist in the binary.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 
+#[cfg(debug_assertions)]
+use crate::lockdep::{self, ClassId, LockClass};
+
 /// A mutual-exclusion lock whose guard is returned without a poison
 /// `Result`.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    dep: Option<LockClass>,
     inner: std::sync::Mutex<T>,
 }
 
@@ -26,6 +36,22 @@ impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(debug_assertions)]
+            dep: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex belonging to the lockdep class `name`. Many
+    /// locks may share one name — every stream queue is one class —
+    /// and debug builds verify a consistent acquisition order across
+    /// all named classes. In release builds this is exactly [`Mutex::new`].
+    pub const fn named(value: T, name: &'static str) -> Mutex<T> {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        Mutex {
+            #[cfg(debug_assertions)]
+            dep: Some(LockClass::new(name)),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -39,22 +65,44 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg(debug_assertions)]
+    fn class(&self) -> Option<ClassId> {
+        self.dep.as_ref().map(LockClass::id)
+    }
+
     /// Acquires the lock, blocking until it is free.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let class = self.class();
+        #[cfg(debug_assertions)]
+        if let Some(c) = class {
+            lockdep::acquire(c);
+        }
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(debug_assertions)]
+            class,
         }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-            }),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        let class = self.class();
+        #[cfg(debug_assertions)]
+        if let Some(c) = class {
+            lockdep::acquire_try(c);
         }
+        Some(MutexGuard {
+            inner: Some(inner),
+            #[cfg(debug_assertions)]
+            class,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -84,6 +132,17 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// move it out and back while the caller keeps borrowing this wrapper.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    class: Option<ClassId>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(c) = self.class {
+            lockdep::release(c);
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -102,6 +161,8 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock whose guards are returned without poison
 /// `Result`s.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    dep: Option<LockClass>,
     inner: std::sync::RwLock<T>,
 }
 
@@ -109,6 +170,21 @@ impl<T> RwLock<T> {
     /// Creates a new lock protecting `value`.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(debug_assertions)]
+            dep: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock belonging to the lockdep class `name`; see
+    /// [`Mutex::named`]. Read and write acquisitions count the same for
+    /// ordering purposes.
+    pub const fn named(value: T, name: &'static str) -> RwLock<T> {
+        #[cfg(not(debug_assertions))]
+        let _ = name;
+        RwLock {
+            #[cfg(debug_assertions)]
+            dep: Some(LockClass::new(name)),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -122,17 +198,38 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg(debug_assertions)]
+    fn class(&self) -> Option<ClassId> {
+        self.dep.as_ref().map(LockClass::id)
+    }
+
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let class = self.class();
+        #[cfg(debug_assertions)]
+        if let Some(c) = class {
+            lockdep::acquire(c);
+        }
         RwLockReadGuard {
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            class,
         }
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let class = self.class();
+        #[cfg(debug_assertions)]
+        if let Some(c) = class {
+            lockdep::acquire(c);
+        }
         RwLockWriteGuard {
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            class,
         }
     }
 }
@@ -146,6 +243,17 @@ impl<T: Default> Default for RwLock<T> {
 /// The guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    class: Option<ClassId>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(c) = self.class {
+            lockdep::release(c);
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
@@ -158,6 +266,17 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
 /// The guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    class: Option<ClassId>,
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(c) = self.class {
+            lockdep::release(c);
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
@@ -204,7 +323,19 @@ impl Condvar {
     /// Spurious wakeups are possible; callers loop on their condition.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.inner.take().expect("guard stolen during wait");
-        guard.inner = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+        // The lock is parked while asleep: lockdep must see it released
+        // here and re-acquired on wakeup, or held-stack accounting and
+        // ordering both go wrong.
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::release(c);
+        }
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::acquire(c);
+        }
+        guard.inner = Some(g);
     }
 
     /// Blocks until notified or `deadline` passes; reports which.
@@ -227,10 +358,18 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard stolen during wait");
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::release(c);
+        }
         let (g, r) = self
             .inner
             .wait_timeout(g, timeout)
             .unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::acquire(c);
+        }
         guard.inner = Some(g);
         WaitTimeoutResult {
             timed_out: r.timed_out(),

@@ -1,0 +1,55 @@
+//! The workspace's only wall clock.
+//!
+//! Kernel-path code must be deterministic and simulator-friendly, so
+//! reading `SystemTime` is a support-layer privilege: everything else
+//! uses monotonic `Instant`s for intervals and comes here for the rare
+//! wall-clock-derived value (initial sequence numbers, file
+//! timestamps). `plan9-check` enforces the boundary.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_secs()
+}
+
+/// The sub-second nanoseconds of the current wall-clock time: the
+/// traditional cheap entropy for a 4.4BSD-style initial sequence
+/// number.
+pub fn unix_subsec_nanos() -> u32 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .subsec_nanos()
+}
+
+/// Converts a `SystemTime` (e.g. a file's mtime) to whole seconds since
+/// the Unix epoch (0 for times before it).
+pub fn to_unix_seconds(t: SystemTime) -> u64 {
+    t.duration_since(UNIX_EPOCH).unwrap_or_default().as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_is_past_2020() {
+        assert!(unix_seconds() > 1_577_836_800);
+    }
+
+    #[test]
+    fn to_unix_seconds_of_now_matches() {
+        let now = to_unix_seconds(SystemTime::now());
+        let direct = unix_seconds();
+        assert!(now.abs_diff(direct) <= 1);
+    }
+
+    #[test]
+    fn subsec_nanos_in_range() {
+        assert!(unix_subsec_nanos() < 1_000_000_000);
+    }
+}

@@ -66,11 +66,8 @@ fn concurrent_producers_lose_nothing() {
     }
     drop(tx);
     let mut seen = HashSet::new();
-    loop {
-        match rx.recv() {
-            Ok(v) => assert!(seen.insert(v), "duplicate delivery of {v}"),
-            Err(RecvError) => break,
-        }
+    while let Ok(v) = rx.recv() {
+        assert!(seen.insert(v), "duplicate delivery of {v}");
     }
     for h in handles {
         h.join().unwrap();

@@ -1,0 +1,117 @@
+//! End-to-end lockdep: a deliberate A→B / B→A inversion across two
+//! threads must panic naming both lock classes — on the *first* run
+//! that exhibits both orders, whether or not the interleaving would
+//! have deadlocked.
+//!
+//! Everything here is debug-only because lockdep itself is compiled
+//! out of release builds (a release `cargo test` compiles this file to
+//! nothing, which is itself the off-path guarantee).
+
+#![cfg(debug_assertions)]
+
+use plan9_support::sync::Mutex;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn two_thread_inversion_panics_naming_both_classes() {
+    let a = Arc::new(Mutex::named(0u32, "invtest.mux"));
+    let b = Arc::new(Mutex::named(0u32, "invtest.queue"));
+
+    // Thread 1 establishes mux -> queue and reports when done.
+    let (t1a, t1b) = (Arc::clone(&a), Arc::clone(&b));
+    let (tx, rx) = mpsc::channel();
+    let t1 = thread::Builder::new()
+        .name("invtest-forward".into())
+        .spawn(move || {
+            let ga = t1a.lock();
+            let gb = t1b.lock();
+            drop((ga, gb));
+            tx.send(()).unwrap();
+        })
+        .unwrap();
+    rx.recv().unwrap();
+    t1.join().unwrap();
+
+    // Thread 2 takes queue -> mux: lockdep must refuse the second
+    // acquisition even though no deadlock actually occurs here.
+    let (t2a, t2b) = (Arc::clone(&a), Arc::clone(&b));
+    let panic = thread::Builder::new()
+        .name("invtest-reverse".into())
+        .spawn(move || {
+            let gb = t2b.lock();
+            let ga = t2a.lock();
+            drop((gb, ga));
+        })
+        .unwrap()
+        .join()
+        .expect_err("reverse order must panic under lockdep");
+
+    let msg = panic
+        .downcast_ref::<String>()
+        .expect("lockdep panics with a String payload");
+    assert!(msg.contains("invtest.mux"), "missing class A name: {msg}");
+    assert!(msg.contains("invtest.queue"), "missing class B name: {msg}");
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+    // The report carries both acquisition sites: the recorded forward
+    // edge and the offending reverse acquisition.
+    assert!(msg.contains("invtest-forward"), "missing first thread: {msg}");
+    assert!(msg.contains("invtest-reverse"), "missing second thread: {msg}");
+}
+
+#[test]
+fn consistent_order_across_threads_is_silent() {
+    let a = Arc::new(Mutex::named(0u32, "invtest.ok.outer"));
+    let b = Arc::new(Mutex::named(0u32, "invtest.ok.inner"));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut ga = a.lock();
+                    let mut gb = b.lock();
+                    *ga += 1;
+                    *gb += 1;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*a.lock(), 400);
+}
+
+#[test]
+fn condvar_wait_releases_class_while_parked() {
+    use plan9_support::sync::Condvar;
+
+    // While thread 1 is parked in wait() holding "cvtest.state", it
+    // must NOT count as holding it: thread 2 takes state -> aux, then
+    // the woken thread takes aux under the re-acquired state in the
+    // same order, which is only consistent because wait() released.
+    let state = Arc::new((Mutex::named(false, "cvtest.state"), Condvar::new()));
+    let aux = Arc::new(Mutex::named(0u32, "cvtest.aux"));
+
+    let (s2, x2) = (Arc::clone(&state), Arc::clone(&aux));
+    let waiter = thread::spawn(move || {
+        let (m, cv) = &*s2;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        *x2.lock() += 1; // state -> aux while holding the re-acquired lock
+    });
+
+    thread::sleep(std::time::Duration::from_millis(20));
+    {
+        let (m, cv) = &*state;
+        let mut g = m.lock();
+        *aux.lock() += 1; // establishes state -> aux
+        *g = true;
+        cv.notify_all();
+    }
+    waiter.join().unwrap();
+    assert_eq!(*aux.lock(), 2);
+}

@@ -38,8 +38,7 @@ fn echo_once(m: &Arc<Machine>, addr: &'static str) {
         let (_afd, adir) = announce(&p, addr).expect("announce");
         let (lcfd, ldir) = listen(&p, &adir).expect("listen");
         let dfd = accept(&p, lcfd, &ldir).expect("accept");
-        loop {
-            let Ok(msg) = p.read(dfd, 65536) else { break };
+        while let Ok(msg) = p.read(dfd, 65536) {
             if msg.is_empty() {
                 break;
             }
@@ -98,8 +97,7 @@ fn il_preserves_write_boundaries_tcp_does_not() {
             let (lcfd, ldir) = listen(&p, &adir).expect("listen");
             let dfd = accept(&p, lcfd, &ldir).expect("accept");
             // Report each read's length back on the same connection.
-            loop {
-                let Ok(msg) = p.read(dfd, 65536) else { break };
+            while let Ok(msg) = p.read(dfd, 65536) {
                 if msg.is_empty() {
                     break;
                 }
