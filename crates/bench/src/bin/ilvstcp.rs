@@ -31,8 +31,8 @@ use plan9_ninep::client::NineClient;
 use plan9_ninep::procfs::{MemFs, OpenMode, ProcFs};
 use plan9_ninep::transport::{MsgSink, MsgSource};
 use plan9_support::json::quote;
+use plan9_support::{time, vtime};
 use std::sync::Arc;
-use std::time::Instant;
 
 const TOTAL: usize = 1 << 20; // 1 MiB per cell of the sweep
 const MSG: usize = 1400; // one ether frame per message
@@ -51,60 +51,79 @@ fn hosts(loss: f64, salt: u8) -> (Arc<IpStack>, Arc<IpStack>) {
 }
 
 /// Returns (elapsed_s, retransmitted_bytes, control_msgs) for IL.
+///
+/// The cell body runs in a registered kernel process so that, under a
+/// virtual clock, every actor in the conversation is visible to the
+/// quiescence census — an uncounted thread mid-send would let the clock
+/// jump a retransmit deadline it should have waited out.
 fn run_il(loss: f64, salt: u8) -> (f64, u64, u64) {
-    let (a, b) = hosts(loss, salt);
-    let listener = b.il_module().listen(&b, 17008).expect("listen");
-    let server = std::thread::spawn(move || {
-        let conn = listener.accept().expect("accept");
-        let mut got = 0usize;
-        while got < TOTAL {
-            got += conn.recv().expect("recv").expect("eof").len();
+    let cell = vtime::kproc("il-cell", move || {
+        let (a, b) = hosts(loss, salt);
+        let listener = b.il_module().listen(&b, 17008).expect("listen");
+        let server = vtime::kproc("il-server", move || {
+            let conn = listener.accept().expect("accept");
+            let mut got = 0usize;
+            while got < TOTAL {
+                got += conn.recv().expect("recv").expect("eof").len();
+            }
+        })
+        // checked: spawn fails only on OS thread exhaustion
+        .expect("spawn il server");
+        let conn = a.il_module().connect(&a, b.addr(), 17008).expect("connect");
+        let msg = vec![0xabu8; MSG];
+        let start = time::now();
+        let mut sent = 0usize;
+        while sent < TOTAL {
+            let n = MSG.min(TOTAL - sent);
+            conn.send(&msg[..n]).expect("send");
+            sent += n;
         }
-    });
-    let conn = a.il_module().connect(&a, b.addr(), 17008).expect("connect");
-    let msg = vec![0xabu8; MSG];
-    let start = Instant::now();
-    let mut sent = 0usize;
-    while sent < TOTAL {
-        let n = MSG.min(TOTAL - sent);
-        conn.send(&msg[..n]).expect("send");
-        sent += n;
-    }
-    server.join().expect("server");
-    let elapsed = start.elapsed().as_secs_f64();
-    let stats = &a.il_module().stats;
-    (
-        elapsed,
-        stats.retransmit_bytes.get(),
-        stats.queries.get(),
-    )
+        server.join().expect("server");
+        let elapsed = time::now().saturating_duration_since(start).as_secs_f64();
+        let stats = &a.il_module().stats;
+        (
+            elapsed,
+            stats.retransmit_bytes.get(),
+            stats.queries.get(),
+        )
+    })
+    // checked: spawn fails only on OS thread exhaustion
+    .expect("spawn il cell");
+    cell.join().expect("il cell")
 }
 
 /// Returns (elapsed_s, retransmitted_bytes, retransmit_segments) for TCP.
 fn run_tcp(loss: f64, salt: u8) -> (f64, u64, u64) {
-    let (a, b) = hosts(loss, salt);
-    let listener = b.tcp_module().listen(&b, 564).expect("listen");
-    let server = std::thread::spawn(move || {
-        let conn = listener.accept().expect("accept");
-        let mut got = 0usize;
-        while got < TOTAL {
-            let d = conn.read(65536).expect("read");
-            assert!(!d.is_empty(), "early eof");
-            got += d.len();
-        }
-    });
-    let conn = a.tcp_module().connect(&a, b.addr(), 564).expect("connect");
-    let payload = vec![0xcdu8; TOTAL];
-    let start = Instant::now();
-    conn.write(&payload).expect("write");
-    server.join().expect("server");
-    let elapsed = start.elapsed().as_secs_f64();
-    let stats = &a.tcp_module().stats;
-    (
-        elapsed,
-        stats.retransmit_bytes.get(),
-        stats.retransmit_segments.get(),
-    )
+    let cell = vtime::kproc("tcp-cell", move || {
+        let (a, b) = hosts(loss, salt);
+        let listener = b.tcp_module().listen(&b, 564).expect("listen");
+        let server = vtime::kproc("tcp-server", move || {
+            let conn = listener.accept().expect("accept");
+            let mut got = 0usize;
+            while got < TOTAL {
+                let d = conn.read(65536).expect("read");
+                assert!(!d.is_empty(), "early eof");
+                got += d.len();
+            }
+        })
+        // checked: spawn fails only on OS thread exhaustion
+        .expect("spawn tcp server");
+        let conn = a.tcp_module().connect(&a, b.addr(), 564).expect("connect");
+        let payload = vec![0xcdu8; TOTAL];
+        let start = time::now();
+        conn.write(&payload).expect("write");
+        server.join().expect("server");
+        let elapsed = time::now().saturating_duration_since(start).as_secs_f64();
+        let stats = &a.tcp_module().stats;
+        (
+            elapsed,
+            stats.retransmit_bytes.get(),
+            stats.retransmit_segments.get(),
+        )
+    })
+    // checked: spawn fails only on OS thread exhaustion
+    .expect("spawn tcp cell");
+    cell.join().expect("tcp cell")
 }
 
 /// An IL conversation as a delimited 9P transport.
@@ -128,14 +147,16 @@ impl MsgSource for IlIo {
 fn run_rpc_loop(salt: u8, rpcs: usize) -> f64 {
     let (a, b) = hosts(0.0, salt);
     let listener = b.il_module().listen(&b, 17010).expect("listen");
-    let server = std::thread::spawn(move || {
+    let server = vtime::kproc("rpc-server", move || {
         let conn = listener.accept().expect("accept");
         let fs = MemFs::new("ram", "bootes");
         fs.put_file("/blob", &[0x42u8; 512]).expect("seed");
         let fs: Arc<dyn ProcFs> = fs;
         let io = IlIo(conn);
         let _ = plan9_ninep::server::serve(fs, Box::new(io.clone()), Box::new(io));
-    });
+    })
+    // checked: spawn fails only on OS thread exhaustion
+    .expect("spawn rpc server");
     let conn = a.il_module().connect(&a, b.addr(), 17010).expect("connect");
     let io = IlIo(Arc::clone(&conn));
     let client = NineClient::new(Box::new(io.clone()), Box::new(io));
@@ -146,12 +167,12 @@ fn run_rpc_loop(salt: u8, rpcs: usize) -> f64 {
     for _ in 0..500 {
         client.read(fid, 0, 512).expect("warmup read");
     }
-    let start = Instant::now();
+    let start = time::now();
     for _ in 0..rpcs {
         let d = client.read(fid, 0, 512).expect("read");
         assert_eq!(d.len(), 512);
     }
-    let rps = rpcs as f64 / start.elapsed().as_secs_f64();
+    let rps = rpcs as f64 / time::now().saturating_duration_since(start).as_secs_f64();
     let _ = client.clunk(fid);
     conn.close();
     let _ = server.join();
@@ -164,16 +185,20 @@ fn layer_of(name: &str) -> Option<&'static str> {
         .find(|l| name.starts_with(l))
 }
 
-fn main() {
-    println!("IL vs TCP under loss — 1 MiB transfer, unpaced Ethernet");
+const LOSSES: [f64; 5] = [0.0, 0.01, 0.03, 0.05, 0.10];
+
+/// One full IL-vs-TCP loss sweep starting at `salt0`; returns the JSON
+/// rows. Asserts the §3 claim at meaningful loss: blind retransmission
+/// resends far more than query-repair.
+fn sweep(salt0: u8) -> Vec<String> {
     println!(
         "{:>6} | {:>10} {:>12} {:>9} | {:>10} {:>12} {:>9}",
         "loss", "IL s", "IL rexmit B", "queries", "TCP s", "TCP rexmit B", "segments"
     );
     println!("{}", "-".repeat(80));
-    let mut salt = 0u8;
-    let mut sweep_rows = Vec::new();
-    for loss in [0.0, 0.01, 0.03, 0.05, 0.10] {
+    let mut salt = salt0;
+    let mut rows = Vec::new();
+    for loss in LOSSES {
         let (il_s, il_rexmit, il_q) = run_il(loss, salt);
         salt += 1;
         let (tcp_s, tcp_rexmit, tcp_seg) = run_tcp(loss, salt);
@@ -188,20 +213,44 @@ fn main() {
             tcp_rexmit,
             tcp_seg
         );
-        sweep_rows.push(format!(
+        rows.push(format!(
             "{{\"loss\": {loss}, \"il_s\": {il_s:.4}, \"il_rexmit_bytes\": {il_rexmit}, \
              \"il_queries\": {il_q}, \"tcp_s\": {tcp_s:.4}, \"tcp_rexmit_bytes\": {tcp_rexmit}, \
              \"tcp_rexmit_segments\": {tcp_seg}}}"
         ));
         if loss >= 0.05 {
-            // The §3 claim: blind retransmission resends far more than
-            // query-repair under meaningful loss.
             assert!(
                 tcp_rexmit > il_rexmit,
                 "at {loss} loss TCP should re-send more bytes than IL"
             );
         }
     }
+    rows
+}
+
+fn main() {
+    println!("IL vs TCP under loss — 1 MiB transfer, unpaced Ethernet");
+    let wall0 = time::real_now();
+    let sweep_rows = sweep(0);
+    let real_sweep_wall_s = wall0.elapsed().as_secs_f64();
+    println!("real-time sweep wall clock: {real_sweep_wall_s:.2}s");
+
+    // The same sweep on the discrete-event clock: protocol time is
+    // virtual (timers fire by quiescence-advance, not by waiting), so
+    // the whole thing should take well under a second of wall clock.
+    println!();
+    println!("same sweep under the virtual clock:");
+    let guard = vtime::enter();
+    let wall0 = time::real_now();
+    let vsweep_rows = sweep(30);
+    let virtual_sweep_wall_s = wall0.elapsed().as_secs_f64();
+    drop(guard);
+    println!("virtual sweep wall clock: {virtual_sweep_wall_s:.2}s");
+    assert!(
+        virtual_sweep_wall_s < 5.0,
+        "virtual sweep must not wait out real timers (took {virtual_sweep_wall_s:.2}s)"
+    );
+    let speedup = real_sweep_wall_s / virtual_sweep_wall_s.max(1e-9);
 
     // The 9P-over-IL RPC loop: off, off again (A/B), then on.
     let tracer = trace::global();
@@ -248,17 +297,24 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"ilvstcp\",\n  \"sweep\": [\n    {}\n  ],\n  \"rpc\": {{\n    \
+        "{{\n  \"bench\": \"ilvstcp\",\n  \"vtime\": true,\n  \
+         \"real_sweep_wall_s\": {real_sweep_wall_s:.3}, \
+         \"virtual_sweep_wall_s\": {virtual_sweep_wall_s:.3}, \"speedup\": {speedup:.1},\n  \
+         \"sweep\": [\n    {}\n  ],\n  \"vsweep\": [\n    {}\n  ],\n  \"rpc\": {{\n    \
          \"rpcs_off\": {rpcs_off}, \"rpcs_on\": {rpcs_on},\n    \
          \"rps_off_a\": {rps_off_a:.1}, \"rps_off_b\": {rps_off_b:.1}, \"rps_on\": {rps_on:.1},\n    \
          \"off_ab_delta_pct\": {ab_delta_pct:.3}, \"on_overhead_pct\": {on_overhead_pct:.3},\n    \
          \"layers\": [{}]\n  }}\n}}\n",
         sweep_rows.join(",\n    "),
+        vsweep_rows.join(",\n    "),
         layer_rows.join(", "),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ilvstcp.json");
     std::fs::write(path, json).expect("write BENCH_ilvstcp.json");
     println!();
     println!("wrote BENCH_ilvstcp.json");
-    println!("ilvstcp: OK (IL repairs precisely; TCP goes back and blasts)");
+    println!(
+        "ilvstcp: OK (IL repairs precisely; TCP goes back and blasts; \
+         virtual sweep {speedup:.0}x faster)"
+    );
 }

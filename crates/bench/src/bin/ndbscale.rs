@@ -8,8 +8,8 @@ use plan9_ndb::db::Db;
 use plan9_ndb::gen::generate_global;
 use plan9_ndb::hash::build_hash;
 use plan9_support::rng::SmallRng;
+use plan9_support::time;
 use std::io::Write as _;
-use std::time::Instant;
 
 fn main() {
     let lines = 43_000;
@@ -33,7 +33,7 @@ fn main() {
 
     // Linear scans (no hash file yet).
     let db = Db::open(std::slice::from_ref(&master)).expect("open db");
-    let start = Instant::now();
+    let start = time::real_now();
     for name in &probes {
         let hits = db.query("sys", name);
         assert!(!hits.is_empty());
@@ -47,11 +47,11 @@ fn main() {
     );
 
     // Build the hash file, then repeat.
-    let start = Instant::now();
+    let start = time::real_now();
     let n = build_hash(&master, "sys").expect("build hash");
     println!("built hash for sys: {n} values in {:?}", start.elapsed());
     let db = Db::open(std::slice::from_ref(&master)).expect("reopen db");
-    let start = Instant::now();
+    let start = time::real_now();
     for name in &probes {
         let hits = db.query("sys", name);
         assert!(!hits.is_empty());
@@ -70,7 +70,7 @@ fn main() {
         .query_one("sys", probes[0])
         .and_then(|e| e.get("dom").map(String::from))
         .expect("dom attr");
-    let start = Instant::now();
+    let start = time::real_now();
     let hits = db.query("dom", &dom);
     let unhashed = start.elapsed();
     println!(
@@ -82,6 +82,9 @@ fn main() {
 
     // "Every hash file contains the modification time of its master file
     // so we can avoid using an out-of-date hash table."
+    // The staleness check compares host-filesystem mtimes, which tick in
+    // real seconds — so this wait must be a real one.
+    // checked: real sleep on purpose, host mtime granularity
     std::thread::sleep(std::time::Duration::from_millis(1100));
     let mut updated = text.clone();
     updated.push_str("sys=freshhost\n\tip=135.1.2.3\n");

@@ -17,8 +17,9 @@ use plan9_netsim::pipe::{pipe_pair, PipeEnd};
 use plan9_streams::stream_pipe;
 use plan9_streams::Stream;
 use plan9_netsim::profile::{LinkProfile, Profiles};
+use plan9_support::{time, vtime};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A uniform message channel endpoint for measurement.
 pub trait BenchChan: Send + 'static {
@@ -123,7 +124,8 @@ pub fn il_ether_path(c: Calibration) -> (Arc<IlConn>, Arc<IlConn>) {
     let a = IpStack::new(seg.attach([8, 0, 0, 0xb, 0, 1]), IpConfig::local("10.11.0.1"));
     let b = IpStack::new(seg.attach([8, 0, 0, 0xb, 0, 2]), IpConfig::local("10.11.0.2"));
     let listener = b.il_module().listen(&b, 17008).expect("listen");
-    let t = std::thread::spawn(move || listener.accept().expect("accept"));
+    // checked: spawn fails only on OS thread exhaustion at setup
+    let t = vtime::kproc("il-accept", move || listener.accept().expect("accept")).expect("spawn");
     let ca = a
         .il_module()
         .connect(&a, b.addr(), 17008)
@@ -141,7 +143,8 @@ pub fn urp_datakit_path(c: Calibration) -> (Arc<UrpConn>, Arc<UrpConn>) {
     let a = sw.attach("nj/astro/a").expect("attach a");
     let b = sw.attach("nj/astro/b").expect("attach b");
     let listener = UrpListener::new(b);
-    let t = std::thread::spawn(move || listener.accept().expect("accept").0);
+    // checked: spawn fails only on OS thread exhaustion at setup
+    let t = vtime::kproc("urp-accept", move || listener.accept().expect("accept").0).expect("spawn");
     let ca = urp_dial(&a, "nj/astro/b!bench").expect("dial");
     let cb = t.join().expect("join");
     (ca, cb)
@@ -160,15 +163,17 @@ where
     A: BenchChan,
     B: BenchChan,
 {
-    let receiver = std::thread::spawn(move || {
+    // checked: spawn fails only on OS thread exhaustion at setup
+    let receiver = vtime::kproc("bench-rx", move || {
         let mut got = 0usize;
         while got < total {
             got += rx.recv().len();
         }
-        Instant::now()
-    });
+        time::now()
+    })
+    .expect("spawn");
     let msg = vec![0x5au8; write_size];
-    let start = Instant::now();
+    let start = time::now();
     let mut sent = 0usize;
     while sent < total {
         let n = write_size.min(total - sent);
@@ -176,7 +181,7 @@ where
         sent += n;
     }
     let done = receiver.join().expect("receiver");
-    let elapsed = done.duration_since(start);
+    let elapsed = done.saturating_duration_since(start);
     (total as f64 / 1e6) / elapsed.as_secs_f64()
 }
 
@@ -187,25 +192,27 @@ where
     A: BenchChan,
     B: BenchChan,
 {
-    let echo = std::thread::spawn(move || {
+    // checked: spawn fails only on OS thread exhaustion at setup
+    let echo = vtime::kproc("bench-echo", move || {
         for _ in 0..reps {
             let msg = far.recv();
             far.send(&msg);
         }
-    });
-    let start = Instant::now();
+    })
+    .expect("spawn");
+    let start = time::now();
     for _ in 0..reps {
         near.send(&[0x42]);
         let _ = near.recv();
     }
-    let elapsed = start.elapsed();
+    let elapsed = time::now().saturating_duration_since(start);
     echo.join().expect("echo");
     elapsed.as_secs_f64() * 1000.0 / reps as f64
 }
 
 /// A small settle pause between path setups (ARP, handshakes).
 pub fn settle() {
-    std::thread::sleep(Duration::from_millis(50));
+    time::sleep(Duration::from_millis(50));
 }
 
 #[cfg(test)]

@@ -14,6 +14,10 @@
 //! - **wall-clock** — only `plan9-support` may read
 //!   `SystemTime`/`UNIX_EPOCH`; kernel code uses monotonic `Instant`s
 //!   or `plan9_support::time`.
+//! - **mono-clock** — only `plan9-support` may call `Instant::now()`
+//!   or `thread::sleep()`; everyone else reads time through
+//!   `plan9_support::time::{now, sleep}`, so that a discrete-event run
+//!   under `plan9_support::vtime` never stalls on the host clock.
 //! - **registry-dep** — every manifest dependency must resolve inside
 //!   this repository (`path = …` or `workspace = true`): the build is
 //!   hermetic, and a registry dependency anywhere breaks the offline
@@ -22,7 +26,7 @@
 //! The scanner is a line-level lexer, not a parser: it understands
 //! strings (including raw strings), `//` and nested `/* */` comments,
 //! char literals vs lifetimes, and `#[cfg(test)]`/`#[test]` regions —
-//! enough to make the four rules precise without a syntax tree, and
+//! enough to make the five rules precise without a syntax tree, and
 //! with zero dependencies so it builds before anything else.
 //!
 //! Enforcement ratchets via a baseline (`scripts/check-baseline.txt`):
@@ -51,6 +55,10 @@ pub enum Rule {
     RawSync,
     /// `SystemTime`/`UNIX_EPOCH` outside plan9-support.
     WallClock,
+    /// `Instant::now(`/`thread::sleep(` outside plan9-support: the
+    /// monotonic clock must be read through `plan9_support::time` so
+    /// discrete-event runs stay on the virtual clock.
+    MonoClock,
     /// A manifest dependency that is not a path/workspace dep.
     RegistryDep,
 }
@@ -62,6 +70,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::RawSync => "raw-sync",
             Rule::WallClock => "wall-clock",
+            Rule::MonoClock => "mono-clock",
             Rule::RegistryDep => "registry-dep",
         }
     }
@@ -406,6 +415,14 @@ pub fn scan_source(crate_name: &str, file: &str, source: &str) -> Vec<Violation>
             if !checked && (code.contains("SystemTime") || code.contains("UNIX_EPOCH")) {
                 report(Rule::WallClock);
             }
+
+            // The monotonic clock is a boundary too: a raw read or a
+            // raw sleep stalls a virtual-time run on the host clock.
+            if !checked
+                && (code.contains("Instant::now(") || code.contains("thread::sleep("))
+            {
+                report(Rule::MonoClock);
+            }
         }
     }
     out
@@ -727,6 +744,25 @@ mod tests {
         let src = "fn now() -> u64 {\n    std::time::SystemTime::now();\n    0\n}\n";
         assert_eq!(lines(&scan_source("inet", "f.rs", src)), vec![(Rule::WallClock, 2)]);
         assert!(scan_source("support", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mono_clock_flagged_outside_support() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    std::thread::sleep(d);\n    let _ = t;\n}\n";
+        assert_eq!(
+            lines(&scan_source("inet", "f.rs", src)),
+            vec![(Rule::MonoClock, 2), (Rule::MonoClock, 3)]
+        );
+        assert!(scan_source("support", "f.rs", src).is_empty());
+        // The sanctioned reads don't trip it.
+        let src = "fn f() {\n    let t = plan9_support::time::now();\n    plan9_support::time::sleep(d);\n    let _ = t;\n}\n";
+        assert!(scan_source("inet", "f.rs", src).is_empty());
+        // Tests may use the host clock freely.
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(scan_source("inet", "f.rs", src).is_empty());
+        // A checked annotation works here like everywhere else.
+        let src = "fn f() {\n    std::thread::sleep(d); // checked: real sleep, compares host mtimes\n}\n";
+        assert!(scan_source("bench", "f.rs", src).is_empty());
     }
 
     #[test]

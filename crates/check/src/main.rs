@@ -100,7 +100,7 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "plan9-check: OK: {} violations (baseline {}) across panic-path/raw-sync/wall-clock/registry-dep",
+        "plan9-check: OK: {} violations (baseline {}) across panic-path/raw-sync/wall-clock/mono-clock/registry-dep",
         cmp.total_current, cmp.total_baseline
     );
     ExitCode::SUCCESS

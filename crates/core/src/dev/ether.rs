@@ -101,9 +101,7 @@ impl EtherDev {
             closed: AtomicBool::new(false),
         });
         let rx_dev = Arc::clone(&dev);
-        std::thread::Builder::new()
-            .name("ether-rx".to_string())
-            .spawn(move || rx_dev.rx_loop())
+        plan9_support::vtime::kproc("ether-rx", move || rx_dev.rx_loop())
             // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn ether rx");
         dev

@@ -561,9 +561,7 @@ impl DkDispatcher {
             services: Mutex::named(HashMap::new(), "core.machine.services"),
         });
         let disp = Arc::clone(&d);
-        std::thread::Builder::new()
-            .name("dk-listener".to_string())
-            .spawn(move || disp.accept_loop())
+        plan9_support::vtime::kproc("dk-listener", move || disp.accept_loop())
             // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn dk listener");
         d

@@ -52,14 +52,14 @@ impl MsgSink for ChanIo {
         // The span is the protocol device's data-write handling, nested
         // inside the client's txwait.
         let cur = plan9_netlog::trace::current();
-        let t0 = cur.as_ref().map(|_| std::time::Instant::now());
+        let t0 = cur.as_ref().map(|_| plan9_support::time::now());
         let r = self.src.fs.write(&self.src.node, 0, msg).map(|_| ());
         if let (Some(h), Some(t0)) = (cur, t0) {
             h.span(
                 plan9_netlog::Facility::NineP,
                 "devwrite",
                 t0,
-                std::time::Instant::now(),
+                plan9_support::time::now(),
             );
         }
         r
@@ -212,13 +212,11 @@ where
     T: MsgSink + MsgSource + Clone + Send + 'static,
 {
     let sink = transport.clone();
-    std::thread::Builder::new()
-        .name("9p-serve".to_string())
-        .spawn(move || {
-            let _ = plan9_ninep::server::serve(fs, Box::new(transport), Box::new(sink));
-        })
-        // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
-        .expect("spawn 9p server");
+    plan9_support::vtime::kproc("9p-serve", move || {
+        let _ = plan9_ninep::server::serve(fs, Box::new(transport), Box::new(sink));
+    })
+    // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
+    .expect("spawn 9p server");
 }
 
 /// A guard against accidentally using the driver after hangup.

@@ -55,6 +55,18 @@ impl Proc {
         Proc::new(self.ns.fork(), &self.user)
     }
 
+    /// Forks and runs `f` over the child in a named kernel process —
+    /// `rfork` plus `kproc`. The thread is registered with the virtual
+    /// clock's census when one is installed, so discrete-event runs
+    /// account for it before deciding the system is quiescent.
+    pub fn kproc<F>(&self, name: &str, f: F) -> std::io::Result<plan9_support::vtime::KprocHandle<()>>
+    where
+        F: FnOnce(Proc) + Send + 'static,
+    {
+        let child = self.fork();
+        plan9_support::vtime::kproc(name, move || f(child))
+    }
+
     fn install(&self, fd: Fd) -> i32 {
         let mut next = self.next_fd.lock();
         let n = *next;

@@ -64,7 +64,7 @@ impl DnsServer {
         {
             let cache = self.cache.lock();
             if let Some(e) = cache.get(name) {
-                if e.at.elapsed() < CACHE_TTL {
+                if plan9_support::time::now().saturating_duration_since(e.at) < CACHE_TTL {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(e.records.clone());
                 }
@@ -97,7 +97,7 @@ impl DnsServer {
             name.to_string(),
             CacheEntry {
                 records: out.clone(),
-                at: Instant::now(),
+                at: plan9_support::time::now(),
             },
         );
         Ok(out)

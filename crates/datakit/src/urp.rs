@@ -10,6 +10,7 @@
 //! message boundaries survive — the property 9P demands.
 
 use plan9_support::sync::{Condvar, Mutex};
+use plan9_support::{time, vtime};
 use plan9_netsim::fabric::{Circuit, DatakitLine, IncomingCall};
 use plan9_netsim::wire::RecvOutcome;
 use plan9_ninep::NineError;
@@ -133,15 +134,9 @@ impl UrpConn {
             cell_payload,
         });
         let rx = Arc::clone(&conn);
-        std::thread::Builder::new()
-            .name("urp-rx".to_string())
-            .spawn(move || rx.input_loop())
-            .expect("spawn urp rx");
+        vtime::kproc("urp-rx", move || rx.input_loop()).expect("spawn urp rx");
         let prober = Arc::clone(&conn);
-        std::thread::Builder::new()
-            .name("urp-probe".to_string())
-            .spawn(move || prober.probe_loop())
-            .expect("spawn urp prober");
+        vtime::kproc("urp-probe", move || prober.probe_loop()).expect("spawn urp prober");
         conn
     }
 
@@ -150,7 +145,7 @@ impl UrpConn {
     fn probe_loop(self: Arc<Self>) {
         let mut idle = Duration::ZERO;
         loop {
-            std::thread::sleep(Duration::from_millis(10));
+            time::sleep(Duration::from_millis(10));
             let (has_unacked, closed, next) = {
                 let send = self.send.lock();
                 (!send.unacked.is_empty(), send.closed, send.next_seq)
@@ -278,10 +273,10 @@ impl UrpConn {
             // repair interval, or duplicates breed duplicates.
             let damped = recv
                 .last_rej
-                .map(|at| at.elapsed() < Duration::from_millis(15))
+                .map(|at| time::now().saturating_duration_since(at) < Duration::from_millis(15))
                 .unwrap_or(false);
             if !damped {
-                recv.last_rej = Some(Instant::now());
+                recv.last_rej = Some(time::now());
                 self.stats.rejs.fetch_add(1, Ordering::Relaxed);
                 let expected = recv.expected;
                 drop(recv);
@@ -325,11 +320,11 @@ impl UrpConn {
         // Damping: one rewind per repair interval. A storm of REJs must
         // not multiply duplicates — that is the §3 congestion lesson.
         if let Some(at) = send.last_rewind {
-            if at.elapsed() < Duration::from_millis(15) {
+            if time::now().saturating_duration_since(at) < Duration::from_millis(15) {
                 return;
             }
         }
-        send.last_rewind = Some(Instant::now());
+        send.last_rewind = Some(time::now());
         let cells: Vec<Vec<u8>> = send
             .unacked
             .iter()
@@ -431,7 +426,7 @@ impl UrpConn {
             self.stats.enqs.fetch_add(1, Ordering::Relaxed);
             let next = self.send.lock().next_seq;
             self.circuit.send(&[T_ENQ | next]).map_err(NineError::new)?;
-            let deadline = Instant::now() + ENQ_TIMEOUT * (1 + silent_rounds / 8);
+            let deadline = time::now() + ENQ_TIMEOUT * (1 + silent_rounds / 8);
             let mut send = self.send.lock();
             send.echo_seen = None;
             loop {
@@ -471,7 +466,7 @@ impl UrpConn {
     /// Waits for a message until the timeout elapses.
     #[allow(clippy::result_unit_err)] // the unit error *is* the timeout; no detail to carry
     pub fn recv_timeout(&self, d: Duration) -> Result<Option<Vec<u8>>, ()> {
-        let deadline = Instant::now() + d;
+        let deadline = time::now() + d;
         let mut recv = self.recv.lock();
         loop {
             if let Some(msg) = recv.messages.pop_front() {

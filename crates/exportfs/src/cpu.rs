@@ -36,30 +36,27 @@ pub fn cpu_listener(
     addr: &str,
     job: CpuJob,
     max_sessions: usize,
-) -> Result<std::thread::JoinHandle<()>> {
+) -> Result<plan9_support::vtime::KprocHandle<()>> {
     let (afd, adir) = announce(&p, addr)?;
     let framed = adir.contains("/tcp/");
-    std::thread::Builder::new()
-        .name("cpu-listener".to_string())
-        .spawn(move || {
-            let _keep = afd;
-            for _ in 0..max_sessions {
-                let Ok((lcfd, ldir)) = listen(&p, &adir) else { return };
-                let Ok(dfd) = accept(&p, lcfd, &ldir) else {
-                    p.close(lcfd);
-                    continue;
-                };
-                let (worker, wdfd) = p.fork_with_fd(dfd);
-                let job = Arc::clone(&job);
-                std::thread::Builder::new()
-                    .name("cpu-session".to_string())
-                    .spawn(move || {
-                        let _ = cpu_session(&worker, wdfd, framed, job);
-                    })
-                    .expect("spawn cpu session");
-            }
-        })
-        .map_err(|e| NineError::new(format!("spawn cpu listener: {e}")))
+    plan9_support::vtime::kproc("cpu-listener", move || {
+        let _keep = afd;
+        for _ in 0..max_sessions {
+            let Ok((lcfd, ldir)) = listen(&p, &adir) else { return };
+            let Ok(dfd) = accept(&p, lcfd, &ldir) else {
+                p.close(lcfd);
+                continue;
+            };
+            let (worker, wdfd) = p.fork_with_fd(dfd);
+            let job = Arc::clone(&job);
+            plan9_support::vtime::kproc("cpu-session", move || {
+                let _ = cpu_session(&worker, wdfd, framed, job);
+            })
+            // checked: spawn fails only on OS thread exhaustion
+            .expect("spawn cpu session");
+        }
+    })
+    .map_err(|e| NineError::new(format!("spawn cpu listener: {e}")))
 }
 
 /// One CPU-server session on an accepted descriptor.

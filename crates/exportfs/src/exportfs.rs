@@ -257,34 +257,35 @@ pub fn serve_export(p: &Proc, data_fd: i32, framed: bool) -> Result<()> {
 ///
 /// Returns after `max_calls` conversations have been *accepted* (so
 /// tests can bound it); pass `usize::MAX` to serve forever.
-pub fn exportfs_listener(p: Proc, addr: &str, max_calls: usize) -> Result<std::thread::JoinHandle<()>> {
+pub fn exportfs_listener(
+    p: Proc,
+    addr: &str,
+    max_calls: usize,
+) -> Result<plan9_support::vtime::KprocHandle<()>> {
     let (afd, adir) = plan9_core::dial::announce(&p, addr)?;
     let framed = adir.contains("/tcp/");
-    let handle = std::thread::Builder::new()
-        .name("exportfs-listener".to_string())
-        .spawn(move || {
-            let _keep_announce = afd;
-            for _ in 0..max_calls {
-                let Ok((lcfd, ldir)) = plan9_core::dial::listen(&p, &adir) else {
-                    return;
-                };
-                let Ok(dfd) = plan9_core::dial::accept(&p, lcfd, &ldir) else {
-                    p.close(lcfd);
-                    continue;
-                };
-                // "The listener runs the profile of the user requesting
-                // the service to construct a name space before starting
-                // exportfs": each conversation gets a forked process.
-                let worker = p.fork_with_fd(dfd);
-                std::thread::Builder::new()
-                    .name("exportfs".to_string())
-                    .spawn(move || {
-                        let (wp, wfd) = worker;
-                        let _ = serve_export(&wp, wfd, framed);
-                    })
-                    .expect("spawn exportfs worker");
-            }
-        })
-        .map_err(|e| NineError::new(format!("spawn listener: {e}")))?;
+    let handle = plan9_support::vtime::kproc("exportfs-listener", move || {
+        let _keep_announce = afd;
+        for _ in 0..max_calls {
+            let Ok((lcfd, ldir)) = plan9_core::dial::listen(&p, &adir) else {
+                return;
+            };
+            let Ok(dfd) = plan9_core::dial::accept(&p, lcfd, &ldir) else {
+                p.close(lcfd);
+                continue;
+            };
+            // "The listener runs the profile of the user requesting
+            // the service to construct a name space before starting
+            // exportfs": each conversation gets a forked process.
+            let worker = p.fork_with_fd(dfd);
+            plan9_support::vtime::kproc("exportfs", move || {
+                let (wp, wfd) = worker;
+                let _ = serve_export(&wp, wfd, framed);
+            })
+            // checked: spawn fails only on OS thread exhaustion
+            .expect("spawn exportfs worker");
+        }
+    })
+    .map_err(|e| NineError::new(format!("spawn listener: {e}")))?;
     Ok(handle)
 }

@@ -101,26 +101,27 @@ impl FtpServer {
 
     /// Announces `tcp!*!ftp` on the machine's process and serves
     /// `max_sessions` logins.
-    pub fn serve(self: Arc<Self>, p: Proc, max_sessions: usize) -> Result<std::thread::JoinHandle<()>> {
+    pub fn serve(
+        self: Arc<Self>,
+        p: Proc,
+        max_sessions: usize,
+    ) -> Result<plan9_support::vtime::KprocHandle<()>> {
         let (afd, adir) = announce(&p, "tcp!*!ftp")?;
-        let handle = std::thread::Builder::new()
-            .name("ftpd".to_string())
-            .spawn(move || {
-                let _keep = afd;
-                for _ in 0..max_sessions {
-                    let Ok((lcfd, ldir)) = listen(&p, &adir) else { return };
-                    let Ok(dfd) = accept(&p, lcfd, &ldir) else { continue };
-                    let (worker, wfd) = p.fork_with_fd(dfd);
-                    let srv = Arc::clone(&self);
-                    std::thread::Builder::new()
-                        .name("ftpd-session".to_string())
-                        .spawn(move || {
-                            let _ = srv.session(&worker, wfd);
-                        })
-                        .expect("spawn ftp session");
-                }
-            })
-            .map_err(|e| NineError::new(format!("spawn ftpd: {e}")))?;
+        let handle = plan9_support::vtime::kproc("ftpd", move || {
+            let _keep = afd;
+            for _ in 0..max_sessions {
+                let Ok((lcfd, ldir)) = listen(&p, &adir) else { return };
+                let Ok(dfd) = accept(&p, lcfd, &ldir) else { continue };
+                let (worker, wfd) = p.fork_with_fd(dfd);
+                let srv = Arc::clone(&self);
+                plan9_support::vtime::kproc("ftpd-session", move || {
+                    let _ = srv.session(&worker, wfd);
+                })
+                // checked: spawn fails only on OS thread exhaustion
+                .expect("spawn ftp session");
+            }
+        })
+        .map_err(|e| NineError::new(format!("spawn ftpd: {e}")))?;
         Ok(handle)
     }
 

@@ -6,9 +6,10 @@
 
 use crate::addr::IpAddr;
 use plan9_support::sync::{Condvar, Mutex};
+use plan9_support::time;
 use plan9_netsim::ether::MacAddr;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The Ethernet packet type for ARP.
 pub const ARP_ETHERTYPE: u16 = 0x0806;
@@ -110,7 +111,7 @@ impl ArpCache {
 
     /// Waits until a mapping for `ip` appears or the deadline passes.
     pub fn wait_for(&self, ip: IpAddr, timeout: Duration) -> Option<MacAddr> {
-        let deadline = Instant::now() + timeout;
+        let deadline = time::now() + timeout;
         let mut entries = self.entries.lock();
         loop {
             if let Some(mac) = entries.get(&ip) {
@@ -188,7 +189,7 @@ mod tests {
     #[test]
     fn wait_times_out() {
         let cache = ArpCache::new();
-        let t = Instant::now();
+        let t = std::time::Instant::now();
         assert!(cache
             .wait_for(IpAddr::new(1, 1, 1, 1), Duration::from_millis(30))
             .is_none());

@@ -29,6 +29,7 @@ use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, Histogram, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
+use plan9_support::{time, vtime};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
@@ -371,11 +372,11 @@ impl IlModule {
         conn.transmit(IlType::Sync, iss, 0, &[])?;
         {
             let mut inner = conn.inner.lock();
-            inner.rtx_deadline = Some(Instant::now() + inner.rto);
+            inner.rtx_deadline = Some(time::now() + inner.rto);
         }
         conn.spawn_timer();
         let mut inner = conn.inner.lock();
-        let deadline = Instant::now() + Duration::from_secs(10);
+        let deadline = time::now() + Duration::from_secs(10);
         while inner.state == IlState::Syncer {
             if conn.readable.wait_until(&mut inner, deadline).timed_out() {
                 inner.err = Some("connection timed out".to_string());
@@ -440,7 +441,7 @@ impl IlModule {
                 {
                     let mut inner = conn.inner.lock();
                     inner.rcv_id = pkt.id; // Sync consumes one id
-                    inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                    inner.rtx_deadline = Some(time::now() + inner.rto);
                 }
                 stack.il.conns.lock().insert(key, Arc::clone(&conn));
                 *conn.pending_listener.lock() = Some(listener);
@@ -624,13 +625,13 @@ impl IlConn {
                 id,
                 Sent {
                     payload: msg.to_vec(),
-                    at: Instant::now(),
+                    at: time::now(),
                     rexmit: false,
                     trace: trace::current(),
                 },
             );
             if inner.rtx_deadline.is_none() {
-                inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                inner.rtx_deadline = Some(time::now() + inner.rto);
             }
             inner.ack_due = None; // the data message carries our ack
             inner.rx_since_ack = 0;
@@ -661,7 +662,7 @@ impl IlConn {
 
     /// Waits for a message until the timeout elapses; `Err("timed out")`.
     pub fn recv_timeout(&self, d: Duration) -> crate::Result<Option<Vec<u8>>> {
-        let deadline = Instant::now() + d;
+        let deadline = time::now() + d;
         let mut inner = self.inner.lock();
         loop {
             if let Some(msg) = inner.rcv_q.pop_front() {
@@ -686,7 +687,7 @@ impl IlConn {
             match inner.state {
                 IlState::Established | IlState::Syncee | IlState::Syncer => {
                     inner.state = IlState::Closing;
-                    inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                    inner.rtx_deadline = Some(time::now() + inner.rto);
                     (inner.snd_id, inner.rcv_id, true)
                 }
                 _ => (0, 0, false),
@@ -709,16 +710,14 @@ impl IlConn {
     /// periodically to perform any necessary retransmissions" (§2.4).
     fn spawn_timer(self: &Arc<Self>) {
         let conn = Arc::clone(self);
-        std::thread::Builder::new()
-            .name("il-timer".to_string())
-            .spawn(move || conn.timer_loop())
+        vtime::kproc("il-timer", move || conn.timer_loop())
             // checked: spawn fails only on OS thread exhaustion at connection setup, not per-packet
             .expect("spawn il timer");
     }
 
     fn timer_loop(self: Arc<Self>) {
         loop {
-            std::thread::sleep(Duration::from_millis(5));
+            time::sleep(Duration::from_millis(5));
             enum Action {
                 None,
                 SendAck(u32, u32),
@@ -733,14 +732,14 @@ impl IlConn {
                     Action::Die
                 } else if inner
                     .ack_due
-                    .map(|t| Instant::now() >= t)
+                    .map(|t| time::now() >= t)
                     .unwrap_or(false)
                 {
                     inner.ack_due = None;
                     Action::SendAck(inner.snd_id, inner.rcv_id)
                 } else if inner
                     .rtx_deadline
-                    .map(|t| Instant::now() >= t)
+                    .map(|t| time::now() >= t)
                     .unwrap_or(false)
                 {
                     inner.retries += 1;
@@ -752,7 +751,7 @@ impl IlConn {
                         Action::Die
                     } else {
                         inner.rto = (inner.rto * 3 / 2).min(RTO_MAX);
-                        inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                        inner.rtx_deadline = Some(time::now() + inner.rto);
                         match inner.state {
                             IlState::Syncer => Action::Resync(inner.snd_id, 0, true),
                             IlState::Syncee => {
@@ -831,15 +830,25 @@ impl IlConn {
                     send_ack = true;
                     self.readable.notify_all();
                 }
-                (IlState::Syncee, IlType::Ack) | (IlState::Syncee, IlType::Data)
+                (IlState::Syncee, IlType::Ack)
+                | (IlState::Syncee, IlType::Data)
+                | (IlState::Syncee, IlType::Query)
+                | (IlState::Syncee, IlType::State)
                     if pkt.ack == inner.snd_id =>
                 {
+                    // Any packet acking our Sync proves the peer got it,
+                    // so it completes the handshake. Queries must count:
+                    // if the completing Ack and the first Data are both
+                    // lost, the peer's recovery probe is the only
+                    // traffic we will ever see.
                     inner.state = IlState::Established;
                     inner.rtx_deadline = None;
                     inner.retries = 0;
                     deliver_to_listener = true;
-                    if pkt.typ == IlType::Data {
-                        self.accept_data(&mut inner, pkt, &mut send_ack);
+                    match pkt.typ {
+                        IlType::Data => self.accept_data(&mut inner, pkt, &mut send_ack),
+                        IlType::Query => send_state = true,
+                        _ => {}
                     }
                 }
                 (IlState::Syncee, IlType::Sync) => {
@@ -893,7 +902,7 @@ impl IlConn {
                                 }
                             }
                             if !retransmit.is_empty() {
-                                inner.last_rexmit = Some(Instant::now());
+                                inner.last_rexmit = Some(time::now());
                                 // A State reply proves the path is alive:
                                 // the exponential backoff applies to
                                 // silence, not to repair rounds.
@@ -902,10 +911,18 @@ impl IlConn {
                                     inner.rto =
                                         (srtt + 4 * inner.rttvar).clamp(RTO_MIN, RTO_MAX);
                                 }
-                                inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                                inner.rtx_deadline = Some(time::now() + inner.rto);
                             }
                         }
-                        IlType::Ack | IlType::Sync => {}
+                        IlType::Sync => {
+                            // The peer is still resyncing: our
+                            // handshake-completing ack was lost. Answer
+                            // with our state so it can establish and
+                            // solicit repair, instead of querying into
+                            // a peer that will never hear us.
+                            send_state = true;
+                        }
+                        IlType::Ack => {}
                         IlType::Close => unreachable!("handled above"),
                     }
                     if inner.state == IlState::Closing
@@ -931,7 +948,7 @@ impl IlConn {
                     true
                 } else {
                     if inner.ack_due.is_none() {
-                        inner.ack_due = Some(Instant::now() + ACK_DELAY);
+                        inner.ack_due = Some(time::now() + ACK_DELAY);
                     }
                     false
                 }
@@ -1027,7 +1044,7 @@ impl IlConn {
                         Facility::Il,
                         &format!("il send id {id}"),
                         sent.at,
-                        Instant::now(),
+                        time::now(),
                     );
                 }
                 // Round-trip sample from the newest acked message —
@@ -1037,7 +1054,7 @@ impl IlConn {
                 let karn_clean = !sent.rexmit
                     && inner.last_rexmit.map(|t| sent.at > t).unwrap_or(true);
                 if *id == ack && karn_clean {
-                    let sample = sent.at.elapsed();
+                    let sample = time::now().saturating_duration_since(sent.at);
                     inner.record_rtt(sample);
                     // The same sample feeds the adaptive-RTT histogram
                     // shown in the protocol's stats file.
@@ -1051,7 +1068,7 @@ impl IlConn {
         inner.rtx_deadline = if inner.unacked.is_empty() {
             None
         } else {
-            Some(Instant::now() + inner.rto)
+            Some(time::now() + inner.rto)
         };
         self.window_open.notify_all();
     }

@@ -12,6 +12,7 @@ use crate::{il, tcp, udp};
 use plan9_netlog::{Counter, NetLog, Registry};
 use plan9_support::chan::{unbounded, Receiver, Sender};
 use plan9_support::sync::Mutex;
+use plan9_support::{time, vtime};
 use plan9_netsim::ether::{EtherStation, BROADCAST};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap};
@@ -154,18 +155,18 @@ impl IpStack {
         // The wire receiver: the "kernel process" the paper's device
         // interfaces wake from their interrupt routines.
         let rx_stack = Arc::clone(&stack);
-        std::thread::Builder::new()
-            .name(format!("ip-rx-{}", rx_stack.cfg.addr))
-            .spawn(move || rx_stack.wire_loop())
-            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
-            .expect("spawn ip-rx");
+        vtime::kproc(&format!("ip-rx-{}", rx_stack.cfg.addr), move || {
+            rx_stack.wire_loop()
+        })
+        // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
+        .expect("spawn ip-rx");
         // The loopback receiver: packets a host sends to itself.
         let lo_stack = Arc::clone(&stack);
-        std::thread::Builder::new()
-            .name(format!("ip-lo-{}", lo_stack.cfg.addr))
-            .spawn(move || lo_stack.loop_loop(loop_rx))
-            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
-            .expect("spawn ip-lo");
+        vtime::kproc(&format!("ip-lo-{}", lo_stack.cfg.addr), move || {
+            lo_stack.loop_loop(loop_rx)
+        })
+        // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
+        .expect("spawn ip-lo");
         stack
     }
 
@@ -286,12 +287,13 @@ impl IpStack {
     fn reassemble(&self, hdr: &IpHeader, payload: &[u8]) -> Option<Vec<u8>> {
         let mut frags = self.frag.lock();
         // Purge stale entries while we are here.
-        frags.retain(|_, f| f.created.elapsed() < FRAG_TTL);
+        let now = time::now();
+        frags.retain(|_, f| now.saturating_duration_since(f.created) < FRAG_TTL);
         let key = (hdr.src.0, hdr.id);
         let buf = frags.entry(key).or_insert_with(|| FragBuf {
             parts: BTreeMap::new(),
             total: None,
-            created: Instant::now(),
+            created: time::now(),
         });
         buf.parts.insert(hdr.frag_offset, payload.to_vec());
         if !hdr.more_frags {
@@ -321,14 +323,14 @@ impl IpStack {
     /// Sends a transport payload to `dst`, fragmenting as needed.
     pub fn send(&self, dst: IpAddr, proto: u8, payload: &[u8]) -> crate::Result<()> {
         let cur = plan9_netlog::trace::current();
-        let t0 = cur.as_ref().map(|_| Instant::now());
+        let t0 = cur.as_ref().map(|_| time::now());
         let r = self.send_inner(dst, proto, payload);
         if let (Some(h), Some(t0)) = (cur, t0) {
             h.span(
                 plan9_netlog::Facility::Ip,
                 &format!("ip tx {}B", payload.len()),
                 t0,
-                Instant::now(),
+                time::now(),
             );
         }
         r

@@ -18,6 +18,7 @@ use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
+use plan9_support::{time, vtime};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
@@ -385,12 +386,12 @@ impl TcpModule {
         {
             let mut inner = conn.inner.lock();
             inner.snd_nxt = iss.wrapping_add(1);
-            inner.rtx_deadline = Some(Instant::now() + inner.rto);
+            inner.rtx_deadline = Some(time::now() + inner.rto);
         }
         conn.spawn_timer();
         // Wait for the handshake to finish.
         let mut inner = conn.inner.lock();
-        let deadline = Instant::now() + Duration::from_secs(10);
+        let deadline = time::now() + Duration::from_secs(10);
         while inner.state == TcpState::SynSent || inner.state == TcpState::SynRcvd {
             if conn.readable.wait_until(&mut inner, deadline).timed_out() {
                 inner.err = Some("connection timed out".to_string());
@@ -463,7 +464,7 @@ impl TcpModule {
                     let mut inner = conn.inner.lock();
                     inner.snd_wnd = seg.window as u32;
                     inner.snd_nxt = iss.wrapping_add(1);
-                    inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                    inner.rtx_deadline = Some(time::now() + inner.rto);
                 }
                 stack.tcp.conns.lock().insert(key, Arc::clone(&conn));
                 let ack = seg.seq.wrapping_add(1);
@@ -663,7 +664,7 @@ impl TcpConn {
     /// full. Boundaries are NOT preserved — this is TCP.
     pub fn write(&self, data: &[u8]) -> crate::Result<usize> {
         let cur = trace::current();
-        let w0 = cur.as_ref().map(|_| Instant::now());
+        let w0 = cur.as_ref().map(|_| time::now());
         let mut offered = 0usize;
         while offered < data.len() {
             {
@@ -695,7 +696,7 @@ impl TcpConn {
             self.pump();
         }
         if let (Some(h), Some(t0)) = (&cur, w0) {
-            h.span(Facility::Tcp, "tcp write", t0, Instant::now());
+            h.span(Facility::Tcp, "tcp write", t0, time::now());
         }
         Ok(data.len())
     }
@@ -724,7 +725,7 @@ impl TcpConn {
                         inner.snd_nxt = seq.wrapping_add(1);
                         let ack = inner.rcv_nxt;
                         if inner.rtx_deadline.is_none() {
-                            inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                            inner.rtx_deadline = Some(time::now() + inner.rto);
                         }
                         drop(inner);
                         let _ = self.transmit_flags(FIN | ACK, seq, ack, &[]);
@@ -752,11 +753,11 @@ impl TcpConn {
                 let seq = inner.snd_nxt;
                 inner.snd_nxt = seq.wrapping_add(n as u32);
                 if inner.rtx_deadline.is_none() {
-                    inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                    inner.rtx_deadline = Some(time::now() + inner.rto);
                 }
                 let set_probe = inner.rtt_probe.is_none();
                 if set_probe {
-                    inner.rtt_probe = Some((seq.wrapping_add(n as u32), Instant::now()));
+                    inner.rtt_probe = Some((seq.wrapping_add(n as u32), time::now()));
                 }
                 (seq, inner.rcv_nxt, chunk, set_probe)
             };
@@ -842,16 +843,14 @@ impl TcpConn {
     /// The per-connection helper kernel process: retransmission timer.
     fn spawn_timer(self: &Arc<Self>) {
         let conn = Arc::clone(self);
-        std::thread::Builder::new()
-            .name("tcp-timer".to_string())
-            .spawn(move || conn.timer_loop())
+        vtime::kproc("tcp-timer", move || conn.timer_loop())
             // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
             .expect("spawn tcp timer");
     }
 
     fn timer_loop(self: Arc<Self>) {
         loop {
-            std::thread::sleep(Duration::from_millis(10));
+            time::sleep(Duration::from_millis(10));
             let mut actions: Vec<(u16, u32, u32, Vec<u8>)> = Vec::new();
             let rexmit_trace: Option<trace::TraceHandle>;
             {
@@ -861,7 +860,7 @@ impl TcpConn {
                 }
                 if inner.state == TcpState::TimeWait {
                     if let Some(until) = inner.time_wait_until {
-                        if Instant::now() >= until {
+                        if time::now() >= until {
                             inner.state = TcpState::Closed;
                             break;
                         }
@@ -871,7 +870,7 @@ impl TcpConn {
                 let Some(deadline) = inner.rtx_deadline else {
                     continue;
                 };
-                if Instant::now() < deadline {
+                if time::now() < deadline {
                     continue;
                 }
                 // Timeout: retransmit blindly from snd_una (go-back-N).
@@ -884,7 +883,7 @@ impl TcpConn {
                     break;
                 }
                 inner.rto = (inner.rto * 2).min(RTO_MAX);
-                inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                inner.rtx_deadline = Some(time::now() + inner.rto);
                 inner.rtt_probe = None; // Karn's rule
                 // A timeout collapses the congestion window (Tahoe).
                 inner.enter_recovery();
@@ -1066,7 +1065,7 @@ impl TcpConn {
                         inner.retries = 0;
                         if let Some((probe_seq, at)) = inner.rtt_probe {
                             if seq_le(probe_seq, seg.ack) {
-                                let sample = at.elapsed();
+                                let sample = time::now().saturating_duration_since(at);
                                 inner.record_rtt(sample);
                                 inner.rtt_probe = None;
                             }
@@ -1074,7 +1073,7 @@ impl TcpConn {
                         if inner.snd_una == inner.snd_nxt {
                             inner.rtx_deadline = None;
                         } else {
-                            inner.rtx_deadline = Some(Instant::now() + inner.rto);
+                            inner.rtx_deadline = Some(time::now() + inner.rto);
                         }
                         notify_write = true;
                         // FIN-related transitions on our side.
@@ -1084,7 +1083,7 @@ impl TcpConn {
                                 TcpState::Closing => {
                                     inner.state = TcpState::TimeWait;
                                     inner.time_wait_until =
-                                        Some(Instant::now() + TIME_WAIT);
+                                        Some(time::now() + TIME_WAIT);
                                 }
                                 TcpState::LastAck => {
                                     inner.state = TcpState::Closed;
@@ -1175,7 +1174,7 @@ impl TcpConn {
                     TcpState::FinWait1 => inner.state = TcpState::Closing,
                     TcpState::FinWait2 => {
                         inner.state = TcpState::TimeWait;
-                        inner.time_wait_until = Some(Instant::now() + TIME_WAIT);
+                        inner.time_wait_until = Some(time::now() + TIME_WAIT);
                     }
                     _ => {}
                 }

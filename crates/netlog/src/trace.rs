@@ -125,7 +125,7 @@ impl Tracer {
             on: AtomicBool::new(false),
             filter: AtomicU64::new(all),
             seq: AtomicU64::new(0),
-            epoch: Instant::now(),
+            epoch: plan9_support::time::now(),
             state: Mutex::new(TraceState {
                 active: Vec::new(),
                 done: VecDeque::new(),
@@ -159,7 +159,7 @@ impl Tracer {
         let mut st = self.state.lock();
         // Stamp the start under the lock: the wait to get here belongs
         // to the recorder, not to the root being opened.
-        let now = self.ns(Instant::now());
+        let now = self.ns(plan9_support::time::now());
         st.active.push(RootSpan {
             id,
             label,
@@ -178,7 +178,7 @@ impl Tracer {
 
     /// Closes a root span and moves it into the completed ring.
     pub fn finish(&self, id: u64) {
-        self.finish_at(id, Instant::now());
+        self.finish_at(id, plan9_support::time::now());
     }
 
     /// Closes a root span with a caller-supplied end time, so the last
@@ -226,7 +226,7 @@ impl Tracer {
         if !self.enabled_for(fac) {
             return;
         }
-        let at = self.ns(Instant::now());
+        let at = self.ns(plan9_support::time::now());
         let msg = f();
         let mut st = self.state.lock();
         if let Some(root) = find_mut(&mut st, id) {
@@ -273,7 +273,7 @@ impl Tracer {
                 Ok(())
             }
             ["dump"] => {
-                let now = self.ns(Instant::now());
+                let now = self.ns(plan9_support::time::now());
                 let mut st = self.state.lock();
                 let mut forced: Vec<RootSpan> = st.active.drain(..).collect();
                 forced.sort_by_key(|r| r.id);

@@ -13,6 +13,7 @@ use crate::wire::Medium;
 use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plan9_support::sync::Mutex;
 use std::sync::Arc;
+use plan9_support::time;
 use std::time::{Duration, Instant};
 
 /// A six-byte station address.
@@ -147,7 +148,7 @@ impl EtherSegment {
         // The wire-delivery span: bus acquisition plus serialization,
         // attributed to whatever RPC is transmitting on this thread.
         let cur = plan9_netlog::trace::current();
-        let t0 = cur.as_ref().map(|_| Instant::now());
+        let t0 = cur.as_ref().map(|_| time::now());
         // Seize the bus for the transmission time.
         let done = self.medium.transmit(frame.len());
         if let (Some(h), Some(t0)) = (&cur, t0) {
@@ -155,7 +156,7 @@ impl EtherSegment {
                 plan9_netlog::Facility::Ether,
                 &format!("wire tx {}B", frame.len()),
                 t0,
-                Instant::now(),
+                time::now(),
             );
         }
         let mut f = frame.to_vec();
@@ -218,7 +219,7 @@ impl EtherStation {
 
     /// Waits for a frame until the timeout elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<EtherFrame> {
-        let deadline = Instant::now() + timeout;
+        let deadline = time::now() + timeout;
         let inflight = match self.rx.recv_timeout(timeout) {
             Ok(f) => f,
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => return None,
@@ -242,9 +243,9 @@ impl EtherStation {
 }
 
 fn wait_until(t: Instant) {
-    let now = Instant::now();
+    let now = time::now();
     if t > now {
-        std::thread::sleep(t - now);
+        time::sleep(t - now);
     }
 }
 

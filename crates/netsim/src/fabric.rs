@@ -9,6 +9,14 @@
 //!
 //! Circuits deliver frames in order; reliability and flow control are the
 //! business of URP, the protocol the `plan9-datakit` crate pushes on top.
+//!
+//! Constructors here (and in [`ether`](crate::ether)/[`wire`](crate::wire))
+//! bind the fabric to whatever clock is installed at build time: link
+//! pacing, propagation delay, and impairment timing all read
+//! `plan9_support::time`, so a fabric built under
+//! `plan9_support::vtime::enter` runs entirely on the discrete-event
+//! virtual clock, and every impairment draw comes from the profile's
+//! [`seed`](crate::profile::LinkProfile::seed).
 
 use crate::profile::LinkProfile;
 use crate::wire::{wire_pair, RecvOutcome, WireRx, WireTx};

@@ -19,6 +19,10 @@
 
 use std::time::Duration;
 
+/// The workspace-wide default impairment seed (stable across builds so
+/// recorded bench numbers stay comparable).
+pub const DEFAULT_SEED: u64 = 0x9fc0de;
+
 /// Parameters of one direction of a simulated link.
 #[derive(Debug, Clone)]
 pub struct LinkProfile {
@@ -44,6 +48,10 @@ pub struct LinkProfile {
     pub corrupt: f64,
     /// Probability a frame is delayed past its successor (reordering).
     pub reorder: f64,
+    /// Seed for the medium's impairment RNG: two runs of the same
+    /// scenario with the same seed draw identical loss/dup/corrupt/
+    /// reorder decisions.
+    pub seed: u64,
 }
 
 impl LinkProfile {
@@ -60,6 +68,7 @@ impl LinkProfile {
             dup: 0.0,
             corrupt: 0.0,
             reorder: 0.0,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -84,6 +93,12 @@ impl LinkProfile {
     /// Returns a copy with the given reorder probability.
     pub fn with_reorder(mut self, reorder: f64) -> LinkProfile {
         self.reorder = reorder;
+        self
+    }
+
+    /// Returns a copy seeding the impairment RNG with `seed`.
+    pub fn with_seed(mut self, seed: u64) -> LinkProfile {
+        self.seed = seed;
         self
     }
 
@@ -130,6 +145,7 @@ impl Profiles {
             dup: 0.0,
             corrupt: 0.0,
             reorder: 0.0,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -152,6 +168,7 @@ impl Profiles {
             dup: 0.0,
             corrupt: 0.0,
             reorder: 0.0,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -174,6 +191,7 @@ impl Profiles {
             dup: 0.0,
             corrupt: 0.0,
             reorder: 0.0,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -196,6 +214,7 @@ impl Profiles {
             dup: 0.0,
             corrupt: 0.0,
             reorder: 0.0,
+            seed: DEFAULT_SEED,
         }
     }
 

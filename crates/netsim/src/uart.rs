@@ -6,6 +6,7 @@
 //! calls [`UartEnd::set_baud`].
 
 use plan9_support::chan::{unbounded, Receiver, Sender};
+use plan9_support::time;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,7 +27,7 @@ impl UartEnd {
             let baud = self.baud.load(Ordering::Relaxed).max(1);
             // Ten bit times per byte: start, eight data, stop.
             let byte_time = Duration::from_nanos(10_000_000_000u64 / baud as u64);
-            std::thread::sleep(byte_time);
+            time::sleep(byte_time);
             self.tx.send(b).map_err(|_| "uart: line down".to_string())?;
         }
         Ok(())

@@ -12,6 +12,7 @@ use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plan9_support::sync::Mutex;
 use plan9_support::rng::SmallRng;
 use std::sync::Arc;
+use plan9_support::time;
 use std::time::{Duration, Instant};
 
 /// A frame in flight with its delivery time.
@@ -77,10 +78,11 @@ pub struct Medium {
 impl Medium {
     /// Creates a medium with the given profile.
     pub fn new(profile: LinkProfile) -> Arc<Medium> {
+        let seed = profile.seed;
         Arc::new(Medium {
             profile,
-            busy_until: Mutex::named(Instant::now(), "netsim.wire.busy"),
-            rng: Mutex::named(SmallRng::seed_from_u64(0x9fc0de), "netsim.wire.rng"),
+            busy_until: Mutex::named(time::now(), "netsim.wire.busy"),
+            rng: Mutex::named(SmallRng::seed_from_u64(seed), "netsim.wire.rng"),
             stats: WireStats::new(),
         })
     }
@@ -102,16 +104,16 @@ impl Medium {
         let tx = self.profile.tx_time(len);
         let done = {
             let mut busy = self.busy_until.lock();
-            let start = (*busy).max(Instant::now());
+            let start = (*busy).max(time::now());
             *busy = start + tx;
             *busy
         };
         // Pace the sender. For sub-millisecond waits a sleep is accurate
         // enough; we re-check because sleep may undershoot.
-        let mut now = Instant::now();
+        let mut now = time::now();
         while now < done {
-            std::thread::sleep(done - now);
-            now = Instant::now();
+            time::sleep(done - now);
+            now = time::now();
         }
         done
     }
@@ -192,7 +194,7 @@ impl WireTx {
             ));
         }
         let cur = plan9_netlog::trace::current();
-        let t0 = cur.as_ref().map(|_| Instant::now());
+        let t0 = cur.as_ref().map(|_| time::now());
         let done = self.medium.transmit(frame.len());
         let mut f = frame.to_vec();
         let (copies, extra) = self.medium.impair(&mut f);
@@ -212,7 +214,7 @@ impl WireTx {
                 plan9_netlog::Facility::Ether,
                 &format!("wire tx {}B", frame.len()),
                 t0,
-                Instant::now(),
+                time::now(),
             );
         }
         Ok(())
@@ -254,7 +256,7 @@ impl WireRx {
 
     /// Waits for a frame until `timeout` elapses.
     pub fn recv_timeout(&mut self, timeout: Duration) -> RecvOutcome {
-        self.recv_deadline(Some(Instant::now() + timeout))
+        self.recv_deadline(Some(time::now() + timeout))
     }
 
     fn recv_deadline(&mut self, deadline: Option<Instant>) -> RecvOutcome {
@@ -266,7 +268,7 @@ impl WireRx {
                     Err(_) => return RecvOutcome::Hangup,
                 },
                 Some(d) => {
-                    let now = Instant::now();
+                    let now = time::now();
                     if d <= now {
                         match self.rx.try_recv() {
                             Ok(f) => f,
@@ -283,18 +285,18 @@ impl WireRx {
             },
         };
         // Honor the in-flight propagation delay.
-        let now = Instant::now();
+        let now = time::now();
         if inflight.deliver_at > now {
             if let Some(d) = deadline {
                 if inflight.deliver_at > d {
                     // Not due before the caller's deadline: hold it.
                     let wait = d - now;
-                    std::thread::sleep(wait);
+                    time::sleep(wait);
                     self.held = Some(inflight);
                     return RecvOutcome::TimedOut;
                 }
             }
-            std::thread::sleep(inflight.deliver_at - now);
+            time::sleep(inflight.deliver_at - now);
         }
         RecvOutcome::Frame(inflight.frame)
     }

@@ -16,10 +16,10 @@ use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, Histogram};
 use plan9_support::chan::{bounded, Sender};
 use plan9_support::sync::Mutex;
+use plan9_support::{time, vtime};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 struct ClientShared {
     pending: Mutex<HashMap<Tag, Sender<Rmsg>>>,
@@ -56,7 +56,7 @@ impl NineClient {
             rpc_time: Histogram::new("9p.rpctime"),
         });
         let demux = Arc::clone(&shared);
-        std::thread::spawn(move || loop {
+        vtime::kproc("9p-demux", move || loop {
             match source.recvmsg() {
                 Ok(Some(raw)) => {
                     if let Ok((tag, r)) = decode_rmsg(&raw) {
@@ -79,7 +79,9 @@ impl NineClient {
                     return;
                 }
             }
-        });
+        })
+        // checked: spawn fails only on OS thread exhaustion at mount time
+        .expect("spawn 9p demux");
         NineClient { shared }
     }
 
@@ -144,11 +146,11 @@ impl NineClient {
         let _cur = root.as_ref().map(|h| h.set_current());
         // The three child spans share their boundary timestamps so they
         // tile the root: nothing the RPC waits on falls in a gap.
-        let m0 = Instant::now();
+        let m0 = time::now();
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(tag, tx);
         let buf = encode_tmsg(tag, t);
-        let started = Instant::now();
+        let started = time::now();
         if let Some(h) = &root {
             h.span(Facility::NineP, "marshal", m0, started);
         }
@@ -159,19 +161,19 @@ impl NineClient {
             }
             return Err(e);
         }
-        let r0 = Instant::now();
+        let r0 = time::now();
         if let Some(h) = &root {
             h.span(Facility::NineP, "txwait", started, r0);
         }
         let r = rx.recv();
         if let Some(h) = &root {
-            let t_end = Instant::now();
+            let t_end = time::now();
             h.span(Facility::NineP, "reply", r0, t_end);
             h.finish_at(t_end);
         }
         let r = r.map_err(|_| NineError::new(errstr::EHUNGUP))?;
         self.shared.rpcs.inc();
-        self.shared.rpc_time.record(started.elapsed());
+        self.shared.rpc_time.record(time::now().saturating_duration_since(started));
         match r {
             Rmsg::Error { ename } => Err(NineError(ename)),
             ok if ok.answers(t) => Ok(ok),

@@ -153,23 +153,28 @@ pub fn serve_with_identity(
                 } else {
                     None
                 };
-                workers.push(std::thread::spawn(move || {
+                let worker = plan9_support::vtime::kproc("9p-worker", move || {
                     let _cur = root.as_ref().map(|h| h.set_current());
-                    let h0 = std::time::Instant::now();
+                    let h0 = plan9_support::time::now();
                     let r = handle(&shared, &other)
                         .unwrap_or_else(|e| Rmsg::Error { ename: e.0 });
                     if let Some(h) = &root {
-                        h.span(Facility::NineP, "handle", h0, std::time::Instant::now());
+                        h.span(Facility::NineP, "handle", h0, plan9_support::time::now());
                     }
                     shared.reply(tag, &r);
                     if let Some(h) = &root {
                         h.finish();
                     }
-                }));
+                })
+                // checked: spawn fails only on OS thread exhaustion
+                .expect("spawn 9p worker");
+                workers.push(worker);
                 workers.retain(|w| !w.is_finished());
             }
         }
     }
+    // Kproc joins are virtual events: each parks on the clock until
+    // the worker signals completion, so no census escape is needed.
     for w in workers {
         let _ = w.join();
     }

@@ -7,6 +7,7 @@
 
 use plan9_netlog::trace::{self, TraceHandle};
 use plan9_netlog::Facility;
+use plan9_support::time;
 use std::time::Instant;
 
 /// The type of a block.
@@ -48,14 +49,14 @@ impl BlockTrace {
 
     /// Called by `Queue::put`: stamps the enqueue time.
     pub fn note_enqueued(&mut self) {
-        self.queued_at = Some(Instant::now());
+        self.queued_at = Some(time::now());
     }
 
     /// Called on dequeue: records the queue-residency span.
     pub fn note_dequeued(&mut self) {
         if let Some(t0) = self.queued_at.take() {
             self.handle
-                .span(Facility::Streams, "queue", t0, Instant::now());
+                .span(Facility::Streams, "queue", t0, time::now());
         }
     }
 }

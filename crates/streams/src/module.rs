@@ -72,9 +72,7 @@ impl ModuleCtx {
         F: FnOnce(ModuleCtx) + Send + 'static,
     {
         let ctx = self.clone();
-        let _ = std::thread::Builder::new()
-            .name(format!("helper-{name}"))
-            .spawn(move || f(ctx));
+        let _ = plan9_support::vtime::kproc(&format!("helper-{name}"), move || f(ctx));
     }
 }
 

@@ -138,7 +138,7 @@ impl Queue {
     /// `Err(())` is a timeout with the queue still live.
     #[allow(clippy::result_unit_err)] // the unit error *is* the timeout; no detail to carry
     pub fn get_timeout(&self, d: Duration) -> Result<Option<Block>, ()> {
-        let deadline = std::time::Instant::now() + d;
+        let deadline = plan9_support::time::now() + d;
         let mut inner = self.inner.lock();
         loop {
             if let Some(mut b) = inner.blocks.pop_front() {

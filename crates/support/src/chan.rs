@@ -7,11 +7,18 @@
 //! `recv_timeout`. Disconnection follows the usual rule: receivers
 //! drain what remains after the last sender drops, senders fail once
 //! the last receiver is gone.
+//!
+//! Channels are built on [`sync`](crate::sync) rather than raw `std`
+//! locks so every blocking channel wait is visible to the
+//! [`vtime`](crate::vtime) census: a thread blocked in `recv` counts as
+//! parked, and `recv_timeout` deadlines become virtual timers.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sync::{Condvar, Mutex, MutexGuard};
 
 /// Sending on a channel with no receivers left; returns the message.
 pub struct SendError<T>(pub T);
@@ -76,8 +83,8 @@ struct Shared<T> {
 }
 
 impl<T> Shared<T> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock()
     }
 }
 
@@ -132,11 +139,7 @@ impl<T> Sender<T> {
             }
             match st.cap {
                 Some(cap) if st.queue.len() >= cap => {
-                    st = self
-                        .shared
-                        .not_full
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    self.shared.not_full.wait(&mut st);
                 }
                 _ => {
                     st.queue.push_back(value);
@@ -197,11 +200,7 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self
-                .shared
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.not_empty.wait(&mut st);
         }
     }
 
@@ -221,7 +220,7 @@ impl<T> Receiver<T> {
 
     /// Blocks for the next message until `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::time::now() + timeout;
         let mut st = self.shared.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
@@ -231,16 +230,22 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
-            let now = Instant::now();
-            if deadline <= now {
-                return Err(RecvTimeoutError::Timeout);
-            }
-            let (g, _) = self
+            if self
                 .shared
                 .not_empty
-                .wait_timeout(st, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            st = g;
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                // One last look: a racing send may have queued a value
+                // right as the deadline fired.
+                return match st.queue.pop_front() {
+                    Some(v) => {
+                        self.shared.not_full.notify_one();
+                        Ok(v)
+                    }
+                    None => Err(RecvTimeoutError::Timeout),
+                };
+            }
         }
     }
 

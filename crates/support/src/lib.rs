@@ -17,11 +17,12 @@
 //! | [`bench`] | `criterion`       | micro-bench harness, no-op-able          |
 //! | [`json`]  | `serde_json`      | string quoting for hand-rolled emitters  |
 //!
-//! Two modules are boundaries rather than replacements: [`time`] is the
-//! workspace's only legal wall-clock read, and [`lockdep`] (debug
-//! builds only) order-checks every lock built with
-//! [`sync::Mutex::named`]. The `plan9-check` scanner enforces both
-//! boundaries statically.
+//! Three modules are boundaries rather than replacements: [`time`] is
+//! the workspace's only legal clock read (wall *and* monotonic),
+//! [`vtime`] is the pluggable discrete-event virtual clock behind it,
+//! and [`lockdep`] (debug builds only) order-checks every lock built
+//! with [`sync::Mutex::named`]. The `plan9-check` scanner enforces the
+//! clock boundaries statically.
 //!
 //! Everything here sits on `std` alone.
 
@@ -35,3 +36,4 @@ pub mod lockdep;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod vtime;

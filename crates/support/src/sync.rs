@@ -16,10 +16,13 @@
 //! builds; in release builds `named` is exactly `new` and the checking
 //! machinery does not exist in the binary.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::PoisonError;
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::vtime::{self, Parker, VirtualClock};
 
 #[cfg(debug_assertions)]
 use crate::lockdep::{self, ClassId, LockClass};
@@ -80,6 +83,7 @@ impl<T: ?Sized> Mutex<T> {
         }
         MutexGuard {
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            raw: &self.inner,
             #[cfg(debug_assertions)]
             class,
         }
@@ -100,6 +104,7 @@ impl<T: ?Sized> Mutex<T> {
         }
         Some(MutexGuard {
             inner: Some(inner),
+            raw: &self.inner,
             #[cfg(debug_assertions)]
             class,
         })
@@ -129,9 +134,12 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// The guard returned by [`Mutex::lock`].
 ///
 /// The inner `std` guard lives in an `Option` so [`Condvar::wait`] can
-/// move it out and back while the caller keeps borrowing this wrapper.
+/// move it out and back while the caller keeps borrowing this wrapper;
+/// `raw` points back at the lock itself so a virtual-time wait can drop
+/// the lock entirely and re-acquire it after the clock wakes it.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    raw: &'a std::sync::Mutex<T>,
     #[cfg(debug_assertions)]
     class: Option<ClassId>,
 }
@@ -307,8 +315,18 @@ impl WaitTimeoutResult {
 
 /// A condition variable paired with [`Mutex`] guards by `&mut`
 /// reference, so waiting does not consume the guard binding.
+///
+/// Under an installed [`vtime`] clock, waits park on the virtual clock
+/// instead of the OS condvar: the waiter queues a [`Parker`] (still
+/// holding the user lock, so a racing notify cannot miss it), drops the
+/// lock, and blocks until a notify or a virtual-timer wake. The
+/// real-time path is untouched apart from one atomic load; the parker
+/// queue is not even allocated until the first virtual wait.
 pub struct Condvar {
     inner: std::sync::Condvar,
+    /// Virtual waiters, in arrival order. `OnceLock` keeps `new` const
+    /// and the real-time footprint at one pointer.
+    vq: OnceLock<std::sync::Mutex<VecDeque<Arc<Parker>>>>,
 }
 
 impl Condvar {
@@ -316,12 +334,62 @@ impl Condvar {
     pub const fn new() -> Condvar {
         Condvar {
             inner: std::sync::Condvar::new(),
+            vq: OnceLock::new(),
         }
+    }
+
+    fn vq(&self) -> &std::sync::Mutex<VecDeque<Arc<Parker>>> {
+        self.vq.get_or_init(|| std::sync::Mutex::new(VecDeque::new()))
+    }
+
+    /// Parks the calling thread on the virtual clock: registers a
+    /// parker (timer armed if `deadline` is set) *before* releasing the
+    /// user lock, waits for a wake, re-acquires. Returns whether the
+    /// wake was a timeout.
+    fn vwait<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        clock: &Arc<VirtualClock>,
+        deadline: Option<Instant>,
+    ) -> bool {
+        let parker = clock.park_begin(deadline);
+        self.vq()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(Arc::clone(&parker));
+        // Only now release the user lock: a notifier must be able to
+        // find the parker the instant the lock is free.
+        let raw = guard.raw;
+        let g = guard.inner.take().expect("guard stolen during wait");
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::release(c);
+        }
+        drop(g);
+        let timed_out = clock.park_wait(&parker);
+        {
+            // A timer or teardown wake leaves our queue entry behind;
+            // collect it so notifiers don't trip over it.
+            let mut q = self.vq().lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) = q.iter().position(|p| p.id() == parker.id()) {
+                q.remove(pos);
+            }
+        }
+        #[cfg(debug_assertions)]
+        if let Some(c) = guard.class {
+            lockdep::acquire(c);
+        }
+        guard.inner = Some(raw.lock().unwrap_or_else(PoisonError::into_inner));
+        timed_out
     }
 
     /// Blocks until notified, releasing the guard's lock while asleep.
     /// Spurious wakeups are possible; callers loop on their condition.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        if let Some(clock) = vtime::active() {
+            self.vwait(guard, &clock, None);
+            return;
+        }
         let g = guard.inner.take().expect("guard stolen during wait");
         // The lock is parked while asleep: lockdep must see it released
         // here and re-acquired on wakeup, or held-stack accounting and
@@ -338,21 +406,49 @@ impl Condvar {
         guard.inner = Some(g);
     }
 
-    /// Blocks until notified or `deadline` passes; reports which.
+    /// Blocks until notified or `deadline` passes; reports which. A
+    /// deadline at or before the current time reports timeout
+    /// immediately, without touching the OS condvar — so virtual waits
+    /// with stale deadlines can never block.
     pub fn wait_until<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         deadline: Instant,
     ) -> WaitTimeoutResult {
+        if let Some(clock) = vtime::active() {
+            if deadline <= clock.now() {
+                return WaitTimeoutResult { timed_out: true };
+            }
+            return WaitTimeoutResult {
+                timed_out: self.vwait(guard, &clock, Some(deadline)),
+            };
+        }
         let now = Instant::now();
         if deadline <= now {
             return WaitTimeoutResult { timed_out: true };
         }
-        self.wait_for(guard, deadline - now)
+        self.os_wait_for(guard, deadline - now)
     }
 
     /// Blocks until notified or `timeout` elapses; reports which.
     pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        if timeout.is_zero() {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        if let Some(clock) = vtime::active() {
+            let deadline = clock.now() + timeout;
+            return WaitTimeoutResult {
+                timed_out: self.vwait(guard, &clock, Some(deadline)),
+            };
+        }
+        self.os_wait_for(guard, timeout)
+    }
+
+    fn os_wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
@@ -378,11 +474,36 @@ impl Condvar {
 
     /// Wakes one waiter.
     pub fn notify_one(&self) {
+        if let Some(q) = self.vq.get() {
+            // Pop until one wake sticks: entries whose parkers a timer
+            // already woke are stale and must not absorb the notify.
+            loop {
+                let p = q.lock().unwrap_or_else(PoisonError::into_inner).pop_front();
+                match p {
+                    None => break,
+                    Some(p) => {
+                        if VirtualClock::wake_notified(&p) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
         self.inner.notify_one();
     }
 
     /// Wakes every waiter.
     pub fn notify_all(&self) {
+        if let Some(q) = self.vq.get() {
+            let drained: Vec<Arc<Parker>> = q
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .drain(..)
+                .collect();
+            for p in drained {
+                let _ = VirtualClock::wake_notified(&p);
+            }
+        }
         self.inner.notify_all();
     }
 }

@@ -46,4 +46,17 @@ cargo run --release --offline -p plan9-bench --bin ilvstcp >/dev/null
 python3 -m json.tool BENCH_table1.json >/dev/null
 python3 -m json.tool BENCH_ilvstcp.json >/dev/null
 
-echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON)"
+# Virtual-time gate: the loss sweep must have run on the virtual clock
+# and finished in simulated-milliseconds territory. A >5s wall clock
+# means something fell back to real sleeping.
+python3 - <<'EOF'
+import json, sys
+b = json.load(open("BENCH_ilvstcp.json"))
+if b.get("vtime") is not True:
+    sys.exit("verify: BENCH_ilvstcp.json lacks \"vtime\": true")
+wall = b["virtual_sweep_wall_s"]
+if wall >= 5.0:
+    sys.exit(f"verify: virtual loss sweep took {wall}s wall clock (>= 5s budget)")
+EOF
+
+echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate)"
