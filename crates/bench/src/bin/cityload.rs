@@ -1,0 +1,349 @@
+//! Connection scale, measured: can the fabric carry a city's worth of
+//! machines without a city's worth of threads?
+//!
+//! "The system networks were designed for the... CPU servers [that]
+//! provide the computing muscle for hundreds of machines" — and the
+//! thread-per-conversation seed kernel capped out long before that.
+//! This bench drives the sharded worker pool and the shared timer
+//! wheel through dial storms, listen/accept churn, and per-conversation
+//! 9P traffic across 1k → 10k simulated machines, with the service
+//! side of every conversation running pool-serviced (no parked thread
+//! per connection: readiness hooks plus [`NineService`] inline
+//! dispatch).
+//!
+//! Machines come in pairs on private Ethernet segments — the scaling
+//! cost under test is conversations and timers, not broadcast-domain
+//! crosstalk. Every pair's stacks are `IpStack::new_pooled`, so frame
+//! delivery, protocol timers, and 9P service all ride the fixed pool;
+//! the only per-driver threads are the eight storm drivers themselves.
+//!
+//! The sweep runs on the virtual clock (a 10k-machine fabric would
+//! otherwise wait out real ack timers); a small real-clock smoke run
+//! first proves the same code path works with wall-clock timers.
+//! Results land in `BENCH_cityload.json` at the repository root.
+//!
+//! Usage: `cargo run -p plan9-bench --release --bin cityload`
+
+use plan9_inet::il::{IlConn, TryRecv};
+use plan9_inet::ip::{IpConfig, IpStack};
+use plan9_netsim::ether::EtherSegment;
+use plan9_netsim::profile::Profiles;
+use plan9_ninep::client::NineClient;
+use plan9_ninep::procfs::{MemFs, OpenMode, ProcFs};
+use plan9_ninep::server::NineService;
+use plan9_ninep::transport::{MsgSink, MsgSource};
+use plan9_support::{pool, time, vtime};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Concurrent dial-storm drivers. Together with the pool's fixed
+/// shards and the one wheel thread, the whole fabric runs on O(cores)
+/// threads no matter how many machines the row simulates.
+const DRIVERS: usize = 8;
+
+/// Payload sizes cycled across conversations; each gets its own p99.
+const SIZES: [usize; 3] = [64, 512, 4096];
+
+const PORT: u16 = 17008;
+
+/// An IL conversation as a delimited 9P transport.
+#[derive(Clone)]
+struct IlIo(Arc<IlConn>);
+
+impl MsgSink for IlIo {
+    fn sendmsg(&mut self, msg: &[u8]) -> plan9_ninep::Result<()> {
+        self.0.send(msg)
+    }
+}
+
+impl MsgSource for IlIo {
+    fn recvmsg(&mut self) -> plan9_ninep::Result<Option<Vec<u8>>> {
+        self.0.recv()
+    }
+}
+
+/// One machine pair: a dialing client stack and a serving stack, both
+/// pool-serviced, on a private segment that stays alive for the whole
+/// row so the fabric really holds `machines` stations at once.
+struct Pair {
+    client: Arc<IpStack>,
+    server: Arc<IpStack>,
+    fs: Arc<dyn ProcFs>,
+}
+
+fn build_pair(idx: usize) -> Pair {
+    let (hi, lo) = ((idx >> 8) as u8, (idx & 0xff) as u8);
+    // The calibrated 10 Mbit/s profile paces every frame, so the
+    // per-size p99s below reflect modeled wire time, not just the
+    // host's compute speed.
+    let seg = EtherSegment::new(Profiles::ether_calibrated());
+    let client = IpStack::new_pooled(
+        seg.attach([8, 0, 1, hi, lo, 1]),
+        IpConfig::local(&format!("10.{hi}.{lo}.1")),
+    );
+    let server = IpStack::new_pooled(
+        seg.attach([8, 0, 1, hi, lo, 2]),
+        IpConfig::local(&format!("10.{hi}.{lo}.2")),
+    );
+    let fs = MemFs::new("city", "bootes");
+    for size in SIZES {
+        fs.put_file(&format!("/b{size}"), &vec![0x5au8; size])
+            .expect("seed file");
+    }
+    Pair { client, server, fs }
+}
+
+/// Drains everything queued on a pool-serviced conversation into the
+/// 9P service. Runs as a pool job on the conversation's shard, so
+/// drains for one conversation serialize; weak handles keep the
+/// readiness hook from pinning the conversation alive.
+fn drain(svc: &Weak<NineService>, conn: &Weak<IlConn>) {
+    let (Some(svc), Some(conn)) = (svc.upgrade(), conn.upgrade()) else {
+        return;
+    };
+    loop {
+        match conn.try_recv() {
+            Ok(TryRecv::Msg(m)) => {
+                if svc.input(&m).is_err() {
+                    conn.close();
+                    return;
+                }
+            }
+            Ok(TryRecv::Empty) => return,
+            Ok(TryRecv::Eof) | Err(_) => {
+                svc.hangup();
+                return;
+            }
+        }
+    }
+}
+
+/// One full conversation: listen, dial, accept, serve 9P from the
+/// pool, read one payload, hang up. Returns the read's latency.
+fn converse(pair: &Pair, size: usize) -> Duration {
+    let listener = pair
+        .server
+        .il_module()
+        .listen(&pair.server, PORT)
+        .expect("listen");
+    let conn = pair
+        .client
+        .il_module()
+        .connect(&pair.client, pair.server.addr(), PORT)
+        .expect("dial");
+    let srv = listener
+        .accept_timeout(Duration::from_secs(30))
+        .expect("accept");
+    drop(listener); // listener churn: every conversation re-announces
+
+    // The service side: no thread. Readiness submits a drain job onto
+    // the conversation's pool shard. The hook may fire from under the
+    // connection lock, so it must only enqueue, never drain inline.
+    let svc = Arc::new(NineService::new(
+        Arc::clone(&pair.fs),
+        Box::new(IlIo(Arc::clone(&srv))),
+    ));
+    let wsvc = Arc::downgrade(&svc);
+    let wconn = Arc::downgrade(&srv);
+    let key = srv.conv_id();
+    srv.set_rx_notify(move || {
+        let (wsvc, wconn) = (wsvc.clone(), wconn.clone());
+        let _ = pool::submit(key, move || drain(&wsvc, &wconn));
+    });
+    // Catch anything that landed before the hook was registered.
+    drain(&Arc::downgrade(&svc), &Arc::downgrade(&srv));
+
+    let io = IlIo(Arc::clone(&conn));
+    let client = NineClient::new(Box::new(io.clone()), Box::new(io));
+    let (fid, _) = client.attach("city", "").expect("attach");
+    client.walk(fid, &format!("b{size}")).expect("walk");
+    client.open(fid, OpenMode::READ).expect("open");
+    let t0 = time::now();
+    let d = client.read(fid, 0, size).expect("read");
+    let lat = time::now().saturating_duration_since(t0);
+    assert_eq!(d.len(), size, "short read");
+    conn.close();
+    lat
+}
+
+/// What one storm driver brings home: per-size read latencies (µs).
+type DriverTake = Vec<(usize, Vec<u64>)>;
+
+struct Row {
+    machines: usize,
+    conversations: usize,
+    rpcs: usize,
+    virtual_s: f64,
+    wall_s: f64,
+    lat_us: Vec<(usize, Vec<u64>)>,
+}
+
+/// Runs one fabric row: `machines / 2` live pairs, churned through
+/// `convs_per_pair` conversations each by the storm drivers.
+fn run_row(machines: usize, convs_per_pair: usize) -> Row {
+    let wall0 = time::real_now();
+    let row = vtime::kproc("city-row", move || {
+        let pairs_total = machines / 2;
+        let t0 = time::now();
+        let drivers: Vec<_> = (0..DRIVERS)
+            .map(|d| {
+                vtime::kproc(&format!("storm-{d}"), move || {
+                    // This driver's slice of the fabric, built and held
+                    // live for the whole row.
+                    let mine: Vec<Pair> = (0..pairs_total)
+                        .filter(|i| i % DRIVERS == d)
+                        .map(build_pair)
+                        .collect();
+                    let mut take: DriverTake =
+                        SIZES.iter().map(|&s| (s, Vec::new())).collect();
+                    for c in 0..convs_per_pair {
+                        for (i, pair) in mine.iter().enumerate() {
+                            let size = SIZES[(c + i) % SIZES.len()];
+                            let lat = converse(pair, size);
+                            take.iter_mut()
+                                .find(|(s, _)| *s == size)
+                                .expect("size bucket")
+                                .1
+                                .push(lat.as_micros() as u64);
+                        }
+                    }
+                    (mine.len() * convs_per_pair, take)
+                })
+                // checked: spawn fails only on OS thread exhaustion
+                .expect("spawn storm driver")
+            })
+            .collect();
+        let mut conversations = 0usize;
+        let mut lat_us: Vec<(usize, Vec<u64>)> =
+            SIZES.iter().map(|&s| (s, Vec::new())).collect();
+        for d in drivers {
+            let (convs, take) = d.join().expect("storm driver");
+            conversations += convs;
+            for (size, mut v) in take {
+                lat_us
+                    .iter_mut()
+                    .find(|(s, _)| *s == size)
+                    .expect("size bucket")
+                    .1
+                    .append(&mut v);
+            }
+        }
+        let virtual_s = time::now().saturating_duration_since(t0).as_secs_f64();
+        (conversations, virtual_s, lat_us)
+    })
+    // checked: spawn fails only on OS thread exhaustion
+    .expect("spawn city row");
+    let (conversations, virtual_s, lat_us) = row.join().expect("city row");
+    Row {
+        machines,
+        conversations,
+        // attach + walk + open + read per conversation
+        rpcs: conversations * 4,
+        virtual_s,
+        wall_s: wall0.elapsed().as_secs_f64(),
+        lat_us,
+    }
+}
+
+fn p99(v: &mut [u64]) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v.sort_unstable();
+    v[(v.len() - 1) * 99 / 100]
+}
+
+fn row_json(r: &mut Row) -> String {
+    let p99s: Vec<String> = r
+        .lat_us
+        .iter_mut()
+        .map(|(size, v)| format!("\"{size}\": {}", p99(v)))
+        .collect();
+    format!(
+        "{{\"machines\": {}, \"conversations\": {}, \"rpcs\": {}, \
+         \"virtual_s\": {:.4}, \"wall_s\": {:.2}, \"rpc_per_virtual_s\": {:.0}, \
+         \"p99_us\": {{{}}}}}",
+        r.machines,
+        r.conversations,
+        r.rpcs,
+        r.virtual_s,
+        r.wall_s,
+        r.rpcs as f64 / r.virtual_s.max(1e-9),
+        p99s.join(", "),
+    )
+}
+
+fn print_row(r: &Row, clock: &str) {
+    println!(
+        "{clock:>7} | {:>7} machines {:>7} convs {:>8} rpcs | virtual {:>8.3}s wall {:>6.2}s",
+        r.machines, r.conversations, r.rpcs, r.virtual_s, r.wall_s
+    );
+}
+
+fn main() {
+    println!(
+        "cityload — dial storms and 9P churn over the worker pool \
+         ({DRIVERS} drivers, {} pool shards)",
+        pool::NSHARDS
+    );
+
+    // Real-clock smoke: the identical fabric code with wall timers.
+    let mut smoke = run_row(96, 1);
+    print_row(&smoke, "real");
+    assert!(smoke.conversations == 48, "smoke fabric lost conversations");
+
+    // Drain the smoke fabric before switching clocks: close
+    // handshakes still in flight hold armed wheel timers, and a
+    // conversation must not straddle a clock transition.
+    while plan9_support::wheel::armed() > 0 || pool::backlog() > 0 {
+        time::sleep(Duration::from_millis(1));
+    }
+
+    // The scale sweep, on the discrete-event clock.
+    let sweep_plan = [(1000usize, 4usize), (4000, 4), (10_000, 10)];
+    let guard = vtime::enter();
+    let wall0 = time::real_now();
+    let mut rows: Vec<Row> = sweep_plan
+        .iter()
+        .map(|&(machines, convs)| {
+            let r = run_row(machines, convs);
+            print_row(&r, "virtual");
+            r
+        })
+        .collect();
+    let virtual_sweep_wall_s = wall0.elapsed().as_secs_f64();
+    drop(guard);
+
+    let (top_machines, top_convs) = {
+        let last = rows.last().expect("sweep rows");
+        (last.machines, last.conversations)
+    };
+    assert!(
+        top_machines == 10_000 && top_convs >= 50_000,
+        "the top row must be a 10k-machine, 50k-conversation fabric"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"cityload\",\n  \"vtime\": true,\n  \
+         \"drivers\": {DRIVERS}, \"pool_shards\": {},\n  \
+         \"real_smoke\": {},\n  \
+         \"virtual_sweep_wall_s\": {virtual_sweep_wall_s:.2},\n  \
+         \"sweep\": [\n    {}\n  ]\n}}\n",
+        pool::NSHARDS,
+        row_json(&mut smoke),
+        rows.iter_mut()
+            .map(row_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cityload.json");
+    std::fs::write(path, json).expect("write BENCH_cityload.json");
+    println!();
+    println!("wrote BENCH_cityload.json");
+    println!(
+        "cityload: OK (10k machines, {} conversations, {} service threads, \
+         virtual sweep {virtual_sweep_wall_s:.1}s of wall clock)",
+        top_convs,
+        DRIVERS + pool::NSHARDS + 1,
+    );
+}

@@ -29,7 +29,7 @@ use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, Histogram, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
-use plan9_support::{time, vtime};
+use plan9_support::{time, wheel};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
@@ -199,6 +199,26 @@ pub(crate) struct ConnKey {
     pub(crate) rport: u16,
 }
 
+/// The conversation id that keys this connection's timer-wheel fires
+/// onto a worker-pool shard. An FNV-style mix of the 4-tuple rather
+/// than a global counter so a seeded vtime replay shards identically
+/// run after run.
+fn conv_of(key: &ConnKey) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in key
+        .raddr
+        .0
+        .to_be_bytes()
+        .into_iter()
+        .chain(key.lport.to_be_bytes())
+        .chain(key.rport.to_be_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Aggregate IL counters, compared against TCP's in the §3 experiment.
 /// All live in the stack's netlog registry under `il.*` names.
 pub struct IlStats {
@@ -299,6 +319,9 @@ struct Inner {
     rttvar: Duration,
     rto: Duration,
     err: Option<String>,
+    /// The armed timer-wheel entry covering the earliest of `ack_due`
+    /// and `rtx_deadline`, if any.
+    timer: Option<wheel::TimerId>,
 }
 
 impl Inner {
@@ -323,10 +346,26 @@ impl Inner {
 pub struct IlConn {
     stack: Weak<IpStack>,
     key: ConnKey,
+    /// Conversation id: the shard key for timer fires and readiness
+    /// service, so all of this conversation's work serializes.
+    conv: u64,
     inner: Mutex<Inner>,
     readable: Condvar,
     window_open: Condvar,
     pending_listener: Mutex<Option<Arc<ListenerShared>>>,
+    /// Readable-readiness hook for pool-serviced conversations.
+    rx_notify: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+/// What [`IlConn::try_recv`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TryRecv {
+    /// A complete message.
+    Msg(Vec<u8>),
+    /// Nothing queued yet; the connection is still live.
+    Empty,
+    /// Orderly end of the conversation.
+    Eof,
 }
 
 impl IlModule {
@@ -369,12 +408,20 @@ impl IlModule {
         self.netlog.events.log(Facility::Il, || {
             format!("sync id {iss} to {dst}!{dport}")
         });
-        conn.transmit(IlType::Sync, iss, 0, &[])?;
-        {
+        // Any setup failure — the Sync transmit or arming the shared
+        // timer (whose wheel/pool threads spawn lazily and can fail
+        // under thread exhaustion) — must undo the conns entry and
+        // release the port, not leak the table slot or panic.
+        let setup = conn.transmit(IlType::Sync, iss, 0, &[]).and_then(|()| {
             let mut inner = conn.inner.lock();
             inner.rtx_deadline = Some(time::now() + inner.rto);
+            conn.rearm(&mut inner)
+                .map_err(|e| NineError::new(format!("il timer: {e}")))
+        });
+        if let Err(e) = setup {
+            conn.teardown();
+            return Err(e);
         }
-        conn.spawn_timer();
         let mut inner = conn.inner.lock();
         let deadline = time::now() + Duration::from_secs(10);
         while inner.state == IlState::Syncer {
@@ -397,6 +444,11 @@ impl IlModule {
                 Err(NineError::new(e))
             }
         }
+    }
+
+    /// Live conversations in the conns table (diagnostics and tests).
+    pub fn conn_count(&self) -> usize {
+        self.conns.lock().len()
     }
 
     /// Passively opens a listening port (17008 is the 9fs convention).
@@ -449,7 +501,16 @@ impl IlModule {
                     format!("sync id {iss} from {src} port {}", pkt.src)
                 });
                 let _ = conn.transmit(IlType::Sync, iss, pkt.id, &[]);
-                conn.spawn_timer();
+                let armed = {
+                    let mut inner = conn.inner.lock();
+                    conn.rearm(&mut inner)
+                };
+                if armed.is_err() {
+                    // No timer means a wedged half-open conversation:
+                    // drop it (freeing the table slot and port) and
+                    // let the peer's re-Sync try again.
+                    conn.teardown();
+                }
                 return;
             }
         }
@@ -525,6 +586,7 @@ impl IlConn {
         Arc::new(IlConn {
             stack: Arc::downgrade(stack),
             key,
+            conv: conv_of(&key),
             inner: Mutex::named(Inner {
                 state,
                 snd_id: iss,
@@ -542,10 +604,12 @@ impl IlConn {
                 rttvar: Duration::ZERO,
                 rto: RTO_INITIAL,
                 err: None,
+                timer: None,
             }, "inet.il.conn"),
             readable: Condvar::new(),
             window_open: Condvar::new(),
             pending_listener: Mutex::named(None, "inet.il.accept"),
+            rx_notify: Mutex::named(None, "inet.il.rxnotify"),
         })
     }
 
@@ -599,7 +663,7 @@ impl IlConn {
     }
 
     /// Sends one message, blocking while the outstanding window is full.
-    pub fn send(&self, msg: &[u8]) -> crate::Result<()> {
+    pub fn send(self: &Arc<Self>, msg: &[u8]) -> crate::Result<()> {
         if msg.len() > IL_MAX_MSG {
             return Err(NineError::new("message too large for il"));
         }
@@ -635,6 +699,8 @@ impl IlConn {
             }
             inner.ack_due = None; // the data message carries our ack
             inner.rx_since_ack = 0;
+            self.rearm(&mut inner)
+                .map_err(|e| NineError::new(format!("il timer: {e}")))?;
             (id, inner.rcv_id)
         };
         if let Some(stack) = self.stack.upgrade() {
@@ -681,13 +747,14 @@ impl IlConn {
     }
 
     /// Closes the connection.
-    pub fn close(&self) {
+    pub fn close(self: &Arc<Self>) {
         let (id, ack, send_close) = {
             let mut inner = self.inner.lock();
             match inner.state {
                 IlState::Established | IlState::Syncee | IlState::Syncer => {
                     inner.state = IlState::Closing;
                     inner.rtx_deadline = Some(time::now() + inner.rto);
+                    let _ = self.rearm(&mut inner);
                     (inner.snd_id, inner.rcv_id, true)
                 }
                 _ => (0, 0, false),
@@ -701,116 +768,193 @@ impl IlConn {
     }
 
     fn teardown(&self) {
+        if let Some(id) = self.inner.lock().timer.take() {
+            wheel::cancel(id);
+        }
         if let Some(stack) = self.stack.upgrade() {
             stack.il.remove_conn(&self.key);
         }
     }
 
-    /// The helper kernel process: "a helper kernel process awakens
-    /// periodically to perform any necessary retransmissions" (§2.4).
-    fn spawn_timer(self: &Arc<Self>) {
-        let conn = Arc::clone(self);
-        vtime::kproc("il-timer", move || conn.timer_loop())
-            // checked: spawn fails only on OS thread exhaustion at connection setup, not per-packet
-            .expect("spawn il timer");
+    /// Wakes blocked readers *and* fires the registered readiness
+    /// hook: a pool-serviced conversation has no parked thread to
+    /// notify, only a closure to call back.
+    fn rx_wake(&self) {
+        self.readable.notify_all();
+        let hook = self.rx_notify.lock().clone();
+        if let Some(h) = hook {
+            h();
+        }
     }
 
-    fn timer_loop(self: Arc<Self>) {
-        loop {
-            time::sleep(Duration::from_millis(5));
-            enum Action {
-                None,
-                SendAck(u32, u32),
-                SendQuery(u32, u32, Option<trace::TraceHandle>),
-                Resync(u32, u32, bool),
-                ReClose(u32, u32),
-                Die,
+    /// Registers a readable-readiness hook, called whenever a message,
+    /// EOF, or error becomes available. With [`IlConn::try_recv`] this
+    /// lets a server drain thousands of conversations from the worker
+    /// pool instead of parking a thread per conversation in
+    /// [`IlConn::recv`]. The hook must be cheap and non-blocking (the
+    /// usual move is `pool::submit` of a drain job).
+    pub fn set_rx_notify(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.rx_notify.lock() = Some(Arc::new(f));
+    }
+
+    /// The conversation id used to shard this connection's service
+    /// work on the worker pool.
+    pub fn conv_id(&self) -> u64 {
+        self.conv
+    }
+
+    /// Non-blocking receive, for pool-serviced conversations.
+    pub fn try_recv(&self) -> crate::Result<TryRecv> {
+        let mut inner = self.inner.lock();
+        if let Some(msg) = inner.rcv_q.pop_front() {
+            return Ok(TryRecv::Msg(msg));
+        }
+        if inner.peer_closed || inner.state == IlState::Closed {
+            return Ok(TryRecv::Eof);
+        }
+        if let Some(e) = &inner.err {
+            return Err(NineError::new(e.clone()));
+        }
+        Ok(TryRecv::Empty)
+    }
+
+    /// Re-arms the conversation's entry on the shared timer wheel to
+    /// the earliest of the delayed-ack and retransmit deadlines ("a
+    /// helper kernel process awakens periodically to perform any
+    /// necessary retransmissions" — §2.4, now one wheel for every
+    /// conversation instead of a thread each). Never extends an armed
+    /// timer: an early fire just re-evaluates and re-arms, while a
+    /// missing one would wedge the conversation. The spawn error (the
+    /// wheel or pool thread could not start) propagates so dial and
+    /// announce fail loudly instead of panicking the kernel.
+    fn rearm(self: &Arc<Self>, inner: &mut Inner) -> std::io::Result<()> {
+        let want = if inner.state == IlState::Closed {
+            None
+        } else {
+            match (inner.ack_due, inner.rtx_deadline) {
+                (Some(a), Some(r)) => Some(a.min(r)),
+                (a, r) => a.or(r),
             }
-            let action = {
-                let mut inner = self.inner.lock();
-                if inner.state == IlState::Closed {
+        };
+        let Some(want) = want else {
+            if let Some(id) = inner.timer.take() {
+                wheel::cancel(id);
+            }
+            return Ok(());
+        };
+        if let Some(id) = inner.timer {
+            if id.deadline() <= want {
+                return Ok(());
+            }
+            wheel::cancel(id);
+            inner.timer = None;
+        }
+        let conn = Arc::clone(self);
+        let id = wheel::schedule(self.conv, want, move || conn.timer_fire())?;
+        inner.timer = Some(id);
+        Ok(())
+    }
+
+    /// One timer expiry, dispatched from the wheel onto this
+    /// conversation's pool shard.
+    fn timer_fire(self: Arc<Self>) {
+        enum Action {
+            None,
+            SendAck(u32, u32),
+            SendQuery(u32, u32, Option<trace::TraceHandle>),
+            Resync(u32, u32, bool),
+            ReClose(u32, u32),
+            Die,
+        }
+        let action = {
+            let mut inner = self.inner.lock();
+            inner.timer = None;
+            if inner.state == IlState::Closed {
+                Action::Die
+            } else if inner
+                .ack_due
+                .map(|t| time::now() >= t)
+                .unwrap_or(false)
+            {
+                inner.ack_due = None;
+                Action::SendAck(inner.snd_id, inner.rcv_id)
+            } else if inner
+                .rtx_deadline
+                .map(|t| time::now() >= t)
+                .unwrap_or(false)
+            {
+                inner.retries += 1;
+                if inner.retries > MAX_RETRIES {
+                    inner.err = Some("connection timed out".to_string());
+                    inner.state = IlState::Closed;
+                    self.rx_wake();
+                    self.window_open.notify_all();
                     Action::Die
-                } else if inner
-                    .ack_due
-                    .map(|t| time::now() >= t)
-                    .unwrap_or(false)
-                {
-                    inner.ack_due = None;
-                    Action::SendAck(inner.snd_id, inner.rcv_id)
-                } else if inner
-                    .rtx_deadline
-                    .map(|t| time::now() >= t)
-                    .unwrap_or(false)
-                {
-                    inner.retries += 1;
-                    if inner.retries > MAX_RETRIES {
-                        inner.err = Some("connection timed out".to_string());
-                        inner.state = IlState::Closed;
-                        self.readable.notify_all();
-                        self.window_open.notify_all();
-                        Action::Die
-                    } else {
-                        inner.rto = (inner.rto * 3 / 2).min(RTO_MAX);
-                        inner.rtx_deadline = Some(time::now() + inner.rto);
-                        match inner.state {
-                            IlState::Syncer => Action::Resync(inner.snd_id, 0, true),
-                            IlState::Syncee => {
-                                Action::Resync(inner.snd_id, inner.rcv_id, false)
-                            }
-                            IlState::Closing => Action::ReClose(inner.snd_id, inner.rcv_id),
-                            _ => {
-                                if inner.unacked.is_empty() {
-                                    inner.rtx_deadline = None;
-                                    inner.retries = 0;
-                                    Action::None
-                                } else {
-                                    // The IL way: ask, don't blast. The
-                                    // query is about the oldest unacked
-                                    // message; its trace owns the event.
-                                    let tr = inner
-                                        .unacked
-                                        .values()
-                                        .next()
-                                        .and_then(|s| s.trace.clone());
-                                    Action::SendQuery(inner.snd_id, inner.rcv_id, tr)
-                                }
+                } else {
+                    inner.rto = (inner.rto * 3 / 2).min(RTO_MAX);
+                    inner.rtx_deadline = Some(time::now() + inner.rto);
+                    match inner.state {
+                        IlState::Syncer => Action::Resync(inner.snd_id, 0, true),
+                        IlState::Syncee => {
+                            Action::Resync(inner.snd_id, inner.rcv_id, false)
+                        }
+                        IlState::Closing => Action::ReClose(inner.snd_id, inner.rcv_id),
+                        _ => {
+                            if inner.unacked.is_empty() {
+                                inner.rtx_deadline = None;
+                                inner.retries = 0;
+                                Action::None
+                            } else {
+                                // The IL way: ask, don't blast. The
+                                // query is about the oldest unacked
+                                // message; its trace owns the event.
+                                let tr = inner
+                                    .unacked
+                                    .values()
+                                    .next()
+                                    .and_then(|s| s.trace.clone());
+                                Action::SendQuery(inner.snd_id, inner.rcv_id, tr)
                             }
                         }
                     }
-                } else {
-                    Action::None
                 }
-            };
-            match action {
-                Action::Die => break,
-                Action::None => {}
-                Action::SendAck(id, ack) => {
-                    if let Some(stack) = self.stack.upgrade() {
-                        stack.il.stats.acks.inc();
-                    }
-                    let _ = self.transmit(IlType::Ack, id, ack, &[]);
+            } else {
+                Action::None
+            }
+        };
+        match action {
+            Action::Die => {
+                self.teardown();
+                return;
+            }
+            Action::None => {}
+            Action::SendAck(id, ack) => {
+                if let Some(stack) = self.stack.upgrade() {
+                    stack.il.stats.acks.inc();
                 }
-                Action::SendQuery(id, ack, tr) => {
-                    if let Some(stack) = self.stack.upgrade() {
-                        stack.il.stats.queries.inc();
-                        stack.il.netlog.events.log(Facility::Il, || {
-                            format!("query id {id} ack {ack}")
-                        });
-                    }
-                    if let Some(h) = tr {
-                        h.event(Facility::Il, || format!("query id {id} ack {ack}"));
-                    }
-                    let _ = self.transmit(IlType::Query, id, ack, &[]);
+                let _ = self.transmit(IlType::Ack, id, ack, &[]);
+            }
+            Action::SendQuery(id, ack, tr) => {
+                if let Some(stack) = self.stack.upgrade() {
+                    stack.il.stats.queries.inc();
+                    stack.il.netlog.events.log(Facility::Il, || {
+                        format!("query id {id} ack {ack}")
+                    });
                 }
-                Action::Resync(id, ack, syncer) => {
-                    let _ = self.transmit(IlType::Sync, id, if syncer { 0 } else { ack }, &[]);
+                if let Some(h) = tr {
+                    h.event(Facility::Il, || format!("query id {id} ack {ack}"));
                 }
-                Action::ReClose(id, ack) => {
-                    let _ = self.transmit(IlType::Close, id, ack, &[]);
-                }
+                let _ = self.transmit(IlType::Query, id, ack, &[]);
+            }
+            Action::Resync(id, ack, syncer) => {
+                let _ = self.transmit(IlType::Sync, id, if syncer { 0 } else { ack }, &[]);
+            }
+            Action::ReClose(id, ack) => {
+                let _ = self.transmit(IlType::Close, id, ack, &[]);
             }
         }
-        self.teardown();
+        let mut inner = self.inner.lock();
+        let _ = self.rearm(&mut inner);
     }
 
     fn handle(self: &Arc<Self>, pkt: &IlPacket) {
@@ -869,7 +1013,7 @@ impl IlConn {
                             reply_close = true;
                         }
                     }
-                    self.readable.notify_all();
+                    self.rx_wake();
                     self.window_open.notify_all();
                 }
                 (IlState::Established, typ) | (IlState::Closing, typ) => {
@@ -1019,7 +1163,14 @@ impl IlConn {
                 let _ = listener.backlog_tx.try_send(Arc::clone(self));
             }
         }
-        if self.inner.lock().state == IlState::Closed {
+        // Every branch above may have moved ack_due/rtx_deadline; one
+        // re-arm covers them all (and cancels if the conn closed).
+        let closed = {
+            let mut inner = self.inner.lock();
+            let _ = self.rearm(&mut inner);
+            inner.state == IlState::Closed
+        };
+        if closed {
             self.teardown();
         }
     }
@@ -1093,7 +1244,7 @@ impl IlConn {
             if let Some(stack) = self.stack.upgrade() {
                 stack.il.stats.rx_msgs.inc();
             }
-            self.readable.notify_all();
+            self.rx_wake();
         } else if seq_lt(inner.rcv_id, pkt.id) {
             // Ahead of us: keep it only if within the window; "messages
             // outside the window are discarded and must be retransmitted."

@@ -12,12 +12,12 @@ use crate::{il, tcp, udp};
 use plan9_netlog::{Counter, NetLog, Registry};
 use plan9_support::chan::{unbounded, Receiver, Sender};
 use plan9_support::sync::Mutex;
-use plan9_support::{time, vtime};
+use plan9_support::{pool, time, vtime};
 use plan9_netsim::ether::{EtherStation, BROADCAST};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 /// Bytes of IP header (no options).
@@ -116,7 +116,13 @@ pub struct IpHeader {
 pub struct IpStack {
     cfg: IpConfig,
     station: EtherStation,
-    loop_tx: Sender<Vec<u8>>,
+    /// Self-reference for requeueing work onto the pool (pooled mode).
+    me: Weak<IpStack>,
+    /// Thread-mode loopback queue; `None` in pooled mode, where
+    /// loopback packets ride the stack's own pool shard instead.
+    loop_tx: Option<Sender<Vec<u8>>>,
+    /// Pool/wheel shard key when the stack runs in pooled (push) mode.
+    pooled: Option<u64>,
     /// The ARP cache (public for diagnostics and tests).
     pub arp: ArpCache,
     frag: Mutex<HashMap<(u32, u16), FragBuf>>,
@@ -133,25 +139,22 @@ pub struct IpStack {
     pub(crate) il: il::IlModule,
 }
 
+/// Deterministic pool/wheel shard key for a station: an FNV-1a hash of
+/// the MAC plus the interface address, stable across same-seed runs.
+fn station_key(mac: &plan9_netsim::ether::MacAddr, addr: IpAddr) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in mac.iter().copied().chain(addr.0.to_be_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 impl IpStack {
     /// Brings up an interface and starts its receiver processes.
     pub fn new(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
         let (loop_tx, loop_rx) = unbounded();
-        let netlog = NetLog::new();
-        let stack = Arc::new(IpStack {
-            cfg,
-            station,
-            loop_tx,
-            arp: ArpCache::new(),
-            frag: Mutex::named(HashMap::new(), "inet.ip.frag"),
-            ip_id: AtomicU16::new(1),
-            closed: AtomicBool::new(false),
-            stats: IpStats::new(&netlog.registry),
-            udp: udp::UdpModule::new(&netlog),
-            tcp: tcp::TcpModule::new(&netlog),
-            il: il::IlModule::new(&netlog),
-            netlog,
-        });
+        let stack = Self::build(station, cfg, Some(loop_tx), None);
         // The wire receiver: the "kernel process" the paper's device
         // interfaces wake from their interrupt routines.
         let rx_stack = Arc::clone(&stack);
@@ -168,6 +171,61 @@ impl IpStack {
         // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
         .expect("spawn ip-lo");
         stack
+    }
+
+    /// Brings up an interface with *no* receiver threads: the station
+    /// is switched to push mode and every inbound frame is serviced on
+    /// this stack's worker-pool shard. A fabric of thousands of hosts
+    /// then runs on O(cores) threads instead of two per host.
+    ///
+    /// One care: service jobs must not block on virtual time, so a
+    /// transmit issued from a service path (an ack, a retransmission)
+    /// must find the peer's MAC already in the ARP cache. In practice
+    /// it always does — the peer's own ARP request or data frame is
+    /// learned before anything answers it — but the *first* dial to a
+    /// host should come from a regular kproc, as `connect`/`announce`
+    /// callers naturally do.
+    pub fn new_pooled(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
+        let key = station_key(&station.addr, cfg.addr);
+        let stack = Self::build(station, cfg, None, Some(key));
+        let me = Arc::downgrade(&stack);
+        stack.station.set_rx_handler(key, move |frame| {
+            let Some(stack) = me.upgrade() else { return };
+            if stack.is_shutdown() {
+                return;
+            }
+            match frame.ethertype {
+                ARP_ETHERTYPE => stack.handle_arp(&frame.payload),
+                IP_ETHERTYPE => stack.handle_ip(&frame.payload),
+                _ => {}
+            }
+        });
+        stack
+    }
+
+    fn build(
+        station: EtherStation,
+        cfg: IpConfig,
+        loop_tx: Option<Sender<Vec<u8>>>,
+        pooled: Option<u64>,
+    ) -> Arc<IpStack> {
+        let netlog = NetLog::new();
+        Arc::new_cyclic(|me| IpStack {
+            cfg,
+            station,
+            me: me.clone(),
+            loop_tx,
+            pooled,
+            arp: ArpCache::new(),
+            frag: Mutex::named(HashMap::new(), "inet.ip.frag"),
+            ip_id: AtomicU16::new(1),
+            closed: AtomicBool::new(false),
+            stats: IpStats::new(&netlog.registry),
+            udp: udp::UdpModule::new(&netlog),
+            tcp: tcp::TcpModule::new(&netlog),
+            il: il::IlModule::new(&netlog),
+            netlog,
+        })
     }
 
     /// This interface's address.
@@ -375,11 +433,20 @@ impl IpStack {
         let packet = encode_ip(&hdr, payload);
         self.stats.tx_packets.inc();
         if dst == self.cfg.addr {
-            // Loopback: delivered by the loopback kernel process.
-            return self
-                .loop_tx
-                .send(packet)
-                .map_err(|_| NineError::new("stack is down"));
+            // Loopback: delivered by the loopback kernel process, or —
+            // in pooled mode — serviced on this stack's own shard.
+            if let Some(tx) = &self.loop_tx {
+                return tx.send(packet).map_err(|_| NineError::new("stack is down"));
+            }
+            let me = self.me.clone();
+            pool::submit_or_run(self.pooled.unwrap_or_default(), move || {
+                if let Some(stack) = me.upgrade() {
+                    if !stack.is_shutdown() {
+                        stack.handle_ip(&packet);
+                    }
+                }
+            });
+            return Ok(());
         }
         if dst == IpAddr::BROADCAST {
             return self

@@ -18,7 +18,7 @@ use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
 use plan9_support::sync::{Condvar, Mutex};
-use plan9_support::{time, vtime};
+use plan9_support::{time, wheel};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
@@ -180,6 +180,25 @@ pub(crate) struct ConnKey {
     pub(crate) rport: u16,
 }
 
+/// Conversation id for the shared timer wheel / worker pool: an FNV-1a
+/// hash of the connection key (salted with the protocol number so a
+/// TCP and an IL conversation on the same ports land on different
+/// shards). A hash — not a global counter — so the id is identical
+/// across same-seed replay runs and the shard assignment stays
+/// deterministic.
+fn conv_of(key: &ConnKey) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in std::iter::once(TCP_PROTO)
+        .chain(key.raddr.0.to_be_bytes())
+        .chain(key.lport.to_be_bytes())
+        .chain(key.rport.to_be_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Aggregate TCP counters; the blind-retransmission numbers feed the
 /// IL-vs-TCP experiment. All live in the stack's netlog registry under
 /// `tcp.*` names.
@@ -261,6 +280,9 @@ struct Inner {
     rtx_deadline: Option<Instant>,
     retries: u32,
     time_wait_until: Option<Instant>,
+    /// The wheel timer armed at the earliest pending deadline
+    /// (retransmission or TIME-WAIT expiry), if any.
+    timer: Option<wheel::TimerId>,
     err: Option<String>,
     // Congestion control (Tahoe/Reno-style; §3's "TCP has a high
     // overhead" includes all of this machinery).
@@ -323,6 +345,8 @@ impl Inner {
 pub struct TcpConn {
     stack: Weak<IpStack>,
     key: ConnKey,
+    /// Shard key for the timer wheel and worker pool.
+    conv: u64,
     inner: Mutex<Inner>,
     /// Signaled on state changes and arriving data.
     readable: Condvar,
@@ -382,13 +406,20 @@ impl TcpModule {
             }
             conns.insert(key, Arc::clone(&conn));
         }
-        conn.transmit_flags(SYN, iss, 0, &[])?;
-        {
+        // A failed transmit or timer arm must not leak the conn in the
+        // conns table: tear it down and surface the error to the
+        // dialer.
+        let setup = conn.transmit_flags(SYN, iss, 0, &[]).and_then(|()| {
             let mut inner = conn.inner.lock();
             inner.snd_nxt = iss.wrapping_add(1);
             inner.rtx_deadline = Some(time::now() + inner.rto);
+            conn.rearm(&mut inner)
+                .map_err(|e| NineError::new(format!("tcp timer: {e}")))
+        });
+        if let Err(e) = setup {
+            conn.teardown();
+            return Err(e);
         }
-        conn.spawn_timer();
         // Wait for the handshake to finish.
         let mut inner = conn.inner.lock();
         let deadline = time::now() + Duration::from_secs(10);
@@ -469,7 +500,17 @@ impl TcpModule {
                 stack.tcp.conns.lock().insert(key, Arc::clone(&conn));
                 let ack = seg.seq.wrapping_add(1);
                 let _ = conn.transmit_flags(SYN | ACK, iss, ack, &[]);
-                conn.spawn_timer();
+                let armed = {
+                    let mut inner = conn.inner.lock();
+                    conn.rearm(&mut inner)
+                };
+                if armed.is_err() {
+                    // No timer means the handshake can never be
+                    // retried; drop the embryonic conn rather than
+                    // leak it. The peer will retransmit its SYN.
+                    conn.teardown();
+                    return;
+                }
                 // Queued for accept() once the handshake completes; the
                 // pending listener reference rides in the conn.
                 *conn.pending_listener.lock() = Some(listener);
@@ -566,6 +607,7 @@ impl TcpConn {
         Arc::new(TcpConn {
             stack: Arc::downgrade(stack),
             key,
+            conv: conv_of(&key),
             inner: Mutex::named(Inner {
                 state,
                 snd_una: iss,
@@ -586,6 +628,7 @@ impl TcpConn {
                 rtx_deadline: None,
                 retries: 0,
                 time_wait_until: None,
+                timer: None,
                 err: None,
                 mss,
                 // Classic initial window: a couple of segments.
@@ -662,7 +705,7 @@ impl TcpConn {
 
     /// Writes bytes into the stream; blocks while the send buffer is
     /// full. Boundaries are NOT preserved — this is TCP.
-    pub fn write(&self, data: &[u8]) -> crate::Result<usize> {
+    pub fn write(self: &Arc<Self>, data: &[u8]) -> crate::Result<usize> {
         let cur = trace::current();
         let w0 = cur.as_ref().map(|_| time::now());
         let mut offered = 0usize;
@@ -702,7 +745,7 @@ impl TcpConn {
     }
 
     /// Pushes out as many segments as the windows allow.
-    fn pump(&self) {
+    fn pump(self: &Arc<Self>) {
         loop {
             let (seq, ack, chunk, set_probe) = {
                 let mut inner = self.inner.lock();
@@ -727,6 +770,7 @@ impl TcpConn {
                         if inner.rtx_deadline.is_none() {
                             inner.rtx_deadline = Some(time::now() + inner.rto);
                         }
+                        let _ = self.rearm(&mut inner);
                         drop(inner);
                         let _ = self.transmit_flags(FIN | ACK, seq, ack, &[]);
                         continue;
@@ -755,6 +799,7 @@ impl TcpConn {
                 if inner.rtx_deadline.is_none() {
                     inner.rtx_deadline = Some(time::now() + inner.rto);
                 }
+                let _ = self.rearm(&mut inner);
                 let set_probe = inner.rtt_probe.is_none();
                 if set_probe {
                     inner.rtt_probe = Some((seq.wrapping_add(n as u32), time::now()));
@@ -792,7 +837,7 @@ impl TcpConn {
     }
 
     /// Half-closes the connection: no more writes, reads drain.
-    pub fn close(&self) {
+    pub fn close(self: &Arc<Self>) {
         let transition = {
             let mut inner = self.inner.lock();
             match inner.state {
@@ -816,6 +861,11 @@ impl TcpConn {
         if transition {
             self.pump();
         }
+        // A close from SynSent/SynRcvd goes straight to Closed with
+        // nothing in flight; reap it (and its timer) immediately.
+        if self.inner.lock().state == TcpState::Closed {
+            self.teardown();
+        }
         self.readable.notify_all();
         self.writable.notify_all();
     }
@@ -835,134 +885,178 @@ impl TcpConn {
     }
 
     fn teardown(&self) {
+        let timer = self.inner.lock().timer.take();
+        if let Some(id) = timer {
+            wheel::cancel(id);
+        }
         if let Some(stack) = self.stack.upgrade() {
             stack.tcp.remove_conn(&self.key);
         }
     }
 
-    /// The per-connection helper kernel process: retransmission timer.
-    fn spawn_timer(self: &Arc<Self>) {
+    /// (Re-)arms the wheel timer at the earliest pending deadline:
+    /// the retransmission deadline, or TIME-WAIT expiry. Must be
+    /// called whenever either deadline changes. Never *extends* an
+    /// armed timer — an early fire just re-evaluates and re-arms —
+    /// because the armed [`wheel::TimerId`] may already be in flight.
+    fn rearm(self: &Arc<Self>, inner: &mut Inner) -> std::io::Result<()> {
+        let want = match inner.state {
+            TcpState::Closed => None,
+            TcpState::TimeWait => inner.time_wait_until,
+            _ => inner.rtx_deadline,
+        };
+        let Some(want) = want else {
+            if let Some(id) = inner.timer.take() {
+                wheel::cancel(id);
+            }
+            return Ok(());
+        };
+        if let Some(id) = inner.timer {
+            if id.deadline() <= want {
+                return Ok(());
+            }
+            wheel::cancel(id);
+            inner.timer = None;
+        }
         let conn = Arc::clone(self);
-        vtime::kproc("tcp-timer", move || conn.timer_loop())
-            // checked: spawn fails only on OS thread exhaustion at setup, not on a data path
-            .expect("spawn tcp timer");
+        let id = wheel::schedule(self.conv, want, move || conn.timer_fire())?;
+        inner.timer = Some(id);
+        Ok(())
     }
 
-    fn timer_loop(self: Arc<Self>) {
-        loop {
-            time::sleep(Duration::from_millis(10));
-            let mut actions: Vec<(u16, u32, u32, Vec<u8>)> = Vec::new();
-            let rexmit_trace: Option<trace::TraceHandle>;
-            {
-                let mut inner = self.inner.lock();
-                if inner.state == TcpState::Closed {
-                    break;
+    /// The wheel callback: one timer expiry, run on this
+    /// conversation's pool shard. Handles TIME-WAIT expiry and the
+    /// retransmission timeout (blind go-back-N from `snd_una`), then
+    /// re-arms for the next deadline.
+    fn timer_fire(self: Arc<Self>) {
+        let mut actions: Vec<(u16, u32, u32, Vec<u8>)> = Vec::new();
+        let mut rexmit_trace: Option<trace::TraceHandle> = None;
+        let mut dead = false;
+        {
+            let mut inner = self.inner.lock();
+            inner.timer = None;
+            match inner.state {
+                TcpState::Closed => dead = true,
+                TcpState::TimeWait => {
+                    if inner.time_wait_until.is_some_and(|until| time::now() >= until) {
+                        inner.state = TcpState::Closed;
+                        dead = true;
+                    } else {
+                        let _ = self.rearm(&mut inner);
+                    }
                 }
-                if inner.state == TcpState::TimeWait {
-                    if let Some(until) = inner.time_wait_until {
-                        if time::now() >= until {
+                _ => {
+                    let due = inner.rtx_deadline.is_some_and(|d| time::now() >= d);
+                    if !due {
+                        // A deadline moved later since this timer was
+                        // armed; aim again.
+                        let _ = self.rearm(&mut inner);
+                    } else {
+                        // Timeout: retransmit blindly from snd_una
+                        // (go-back-N).
+                        inner.retries += 1;
+                        if inner.retries > MAX_RETRIES {
+                            inner.err = Some("connection timed out".to_string());
                             inner.state = TcpState::Closed;
-                            break;
-                        }
-                    }
-                    continue;
-                }
-                let Some(deadline) = inner.rtx_deadline else {
-                    continue;
-                };
-                if time::now() < deadline {
-                    continue;
-                }
-                // Timeout: retransmit blindly from snd_una (go-back-N).
-                inner.retries += 1;
-                if inner.retries > MAX_RETRIES {
-                    inner.err = Some("connection timed out".to_string());
-                    inner.state = TcpState::Closed;
-                    self.readable.notify_all();
-                    self.writable.notify_all();
-                    break;
-                }
-                inner.rto = (inner.rto * 2).min(RTO_MAX);
-                inner.rtx_deadline = Some(time::now() + inner.rto);
-                inner.rtt_probe = None; // Karn's rule
-                // A timeout collapses the congestion window (Tahoe).
-                inner.enter_recovery();
-                inner.cwnd = inner.mss as u32;
-                inner.dup_acks = 0;
-                rexmit_trace = inner.trace.clone();
-                match inner.state {
-                    TcpState::SynSent => {
-                        actions.push((SYN, inner.snd_una, 0, Vec::new()));
-                    }
-                    TcpState::SynRcvd => {
-                        actions.push((
-                            SYN | ACK,
-                            inner.snd_una,
-                            inner.rcv_nxt,
-                            Vec::new(),
-                        ));
-                    }
-                    _ => {
-                        let mss = self.mss();
-                        let unacked = inner.snd_nxt.wrapping_sub(inner.snd_una) as usize;
-                        let fin_in_flight =
-                            inner.fin_seq.is_some() && unacked > 0;
-                        let data_len = if fin_in_flight { unacked - 1 } else { unacked }
-                            .min(inner.send_buf.len());
-                        let mut off = 0usize;
-                        while off < data_len {
-                            let n = (data_len - off).min(mss);
-                            let chunk: Vec<u8> = inner
-                                .send_buf
-                                .iter()
-                                .skip(off)
-                                .take(n)
-                                .copied()
-                                .collect();
-                            actions.push((
-                                ACK | PSH,
-                                inner.snd_una.wrapping_add(off as u32),
-                                inner.rcv_nxt,
-                                chunk,
-                            ));
-                            off += n;
-                        }
-                        if let Some(fin_seq) = inner.fin_seq {
-                            if seq_le(inner.snd_una, fin_seq) {
-                                actions.push((FIN | ACK, fin_seq, inner.rcv_nxt, Vec::new()));
+                            self.readable.notify_all();
+                            self.writable.notify_all();
+                            dead = true;
+                        } else {
+                            inner.rto = (inner.rto * 2).min(RTO_MAX);
+                            inner.rtx_deadline = Some(time::now() + inner.rto);
+                            inner.rtt_probe = None; // Karn's rule
+                            // A timeout collapses the congestion window
+                            // (Tahoe).
+                            inner.enter_recovery();
+                            inner.cwnd = inner.mss as u32;
+                            inner.dup_acks = 0;
+                            rexmit_trace = inner.trace.clone();
+                            match inner.state {
+                                TcpState::SynSent => {
+                                    actions.push((SYN, inner.snd_una, 0, Vec::new()));
+                                }
+                                TcpState::SynRcvd => {
+                                    actions.push((
+                                        SYN | ACK,
+                                        inner.snd_una,
+                                        inner.rcv_nxt,
+                                        Vec::new(),
+                                    ));
+                                }
+                                _ => {
+                                    let mss = self.mss();
+                                    let unacked =
+                                        inner.snd_nxt.wrapping_sub(inner.snd_una) as usize;
+                                    let fin_in_flight =
+                                        inner.fin_seq.is_some() && unacked > 0;
+                                    let data_len =
+                                        if fin_in_flight { unacked - 1 } else { unacked }
+                                            .min(inner.send_buf.len());
+                                    let mut off = 0usize;
+                                    while off < data_len {
+                                        let n = (data_len - off).min(mss);
+                                        let chunk: Vec<u8> = inner
+                                            .send_buf
+                                            .iter()
+                                            .skip(off)
+                                            .take(n)
+                                            .copied()
+                                            .collect();
+                                        actions.push((
+                                            ACK | PSH,
+                                            inner.snd_una.wrapping_add(off as u32),
+                                            inner.rcv_nxt,
+                                            chunk,
+                                        ));
+                                        off += n;
+                                    }
+                                    if let Some(fin_seq) = inner.fin_seq {
+                                        if seq_le(inner.snd_una, fin_seq) {
+                                            actions.push((
+                                                FIN | ACK,
+                                                fin_seq,
+                                                inner.rcv_nxt,
+                                                Vec::new(),
+                                            ));
+                                        }
+                                    }
+                                    if actions.is_empty() {
+                                        // Nothing outstanding after all.
+                                        inner.rtx_deadline = None;
+                                        inner.retries = 0;
+                                    }
+                                }
                             }
-                        }
-                        if actions.is_empty() {
-                            // Nothing outstanding after all.
-                            inner.rtx_deadline = None;
-                            inner.retries = 0;
+                            let _ = self.rearm(&mut inner);
                         }
                     }
                 }
             }
-            if !actions.is_empty() {
-                if let Some(stack) = self.stack.upgrade() {
-                    let bytes: usize = actions.iter().map(|a| a.3.len()).sum();
-                    stack.tcp.stats.retransmit_segments.add(actions.len() as u64);
-                    stack.tcp.stats.retransmit_bytes.add(bytes as u64);
-                    let n = actions.len();
-                    stack.tcp.netlog.events.log(Facility::Tcp, || {
+        }
+        if !actions.is_empty() {
+            if let Some(stack) = self.stack.upgrade() {
+                let bytes: usize = actions.iter().map(|a| a.3.len()).sum();
+                stack.tcp.stats.retransmit_segments.add(actions.len() as u64);
+                stack.tcp.stats.retransmit_bytes.add(bytes as u64);
+                let n = actions.len();
+                stack.tcp.netlog.events.log(Facility::Tcp, || {
+                    format!("timeout rexmit {n} segments {bytes} bytes")
+                });
+                if let Some(h) = &rexmit_trace {
+                    h.event(Facility::Tcp, || {
                         format!("timeout rexmit {n} segments {bytes} bytes")
                     });
-                    if let Some(h) = &rexmit_trace {
-                        h.event(Facility::Tcp, || {
-                            format!("timeout rexmit {n} segments {bytes} bytes")
-                        });
-                    }
-                } else {
-                    break;
                 }
                 for (flags, seq, ack, payload) in actions {
                     let _ = self.transmit_flags(flags, seq, ack, &payload);
                 }
+            } else {
+                dead = true;
             }
         }
-        self.teardown();
+        if dead {
+            self.teardown();
+        }
     }
 
     fn handle(self: &Arc<Self>, seg: &Segment) {
@@ -1116,8 +1210,15 @@ impl TcpConn {
             self.writable.notify_all();
             self.pump();
         }
-        // Remove fully closed connections.
-        if self.inner.lock().state == TcpState::Closed {
+        // Deadlines may have moved (acks clear or reset the rtx
+        // deadline; FIN transitions start TIME-WAIT): re-aim the
+        // wheel timer, and remove fully closed connections.
+        let closed = {
+            let mut inner = self.inner.lock();
+            let _ = self.rearm(&mut inner);
+            inner.state == TcpState::Closed
+        };
+        if closed {
             self.teardown();
         }
     }

@@ -12,6 +12,7 @@ use crate::profile::LinkProfile;
 use crate::wire::Medium;
 use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plan9_support::sync::Mutex;
+use plan9_support::wheel;
 use std::sync::Arc;
 use plan9_support::time;
 use std::time::{Duration, Instant};
@@ -88,9 +89,16 @@ struct InFlight {
     frame: Vec<u8>,
 }
 
+/// A push-mode receive callback; see [`EtherStation::set_rx_handler`].
+pub type RxHandler = Arc<dyn Fn(EtherFrame) + Send + Sync>;
+
 struct StationSlot {
+    id: u64,
     addr: MacAddr,
     tx: Sender<InFlight>,
+    /// Push-mode delivery: the pool shard key and the handler. When
+    /// set, frames bypass the pull queue entirely.
+    handler: Option<(u64, RxHandler)>,
 }
 
 /// A shared Ethernet segment: attach stations, then send and receive.
@@ -111,9 +119,13 @@ impl EtherSegment {
     /// Attaches a station with the given address.
     pub fn attach(self: &Arc<Self>, addr: MacAddr) -> EtherStation {
         let (tx, rx) = unbounded();
-        self.stations.lock().push(StationSlot { addr, tx });
+        let mut stations = self.stations.lock();
+        let id = stations.len() as u64;
+        stations.push(StationSlot { id, addr, tx, handler: None });
+        drop(stations);
         EtherStation {
             addr,
+            id,
             segment: Arc::clone(self),
             rx,
         }
@@ -170,11 +182,33 @@ impl EtherSegment {
             if s.addr == from {
                 continue;
             }
-            for _ in 0..copies {
-                let _ = s.tx.send(InFlight {
-                    deliver_at,
-                    frame: f.clone(),
-                });
+            match &s.handler {
+                Some((key, h)) => {
+                    // Push mode: arrival is a timer-wheel event at the
+                    // propagation deadline; the wheel dispatches the
+                    // decoded frame to the station's pool shard, which
+                    // serializes per-station deliveries. A failed
+                    // schedule (thread exhaustion at worker spawn)
+                    // drops the frame — something this lossy medium is
+                    // allowed to do anyway.
+                    for _ in 0..copies {
+                        let h = Arc::clone(h);
+                        let frame = f.clone();
+                        let _ = wheel::schedule(*key, deliver_at, move || {
+                            if let Some(fr) = EtherFrame::decode(&frame) {
+                                h(fr);
+                            }
+                        });
+                    }
+                }
+                None => {
+                    for _ in 0..copies {
+                        let _ = s.tx.send(InFlight {
+                            deliver_at,
+                            frame: f.clone(),
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -189,6 +223,7 @@ impl EtherSegment {
 pub struct EtherStation {
     /// The station's address.
     pub addr: MacAddr,
+    id: u64,
     segment: Arc<EtherSegment>,
     rx: Receiver<InFlight>,
 }
@@ -229,6 +264,25 @@ impl EtherStation {
         let _ = deadline;
         wait_until(inflight.deliver_at);
         EtherFrame::decode(&inflight.frame)
+    }
+
+    /// Switches the station to push mode: instead of queueing frames
+    /// for [`recv`](EtherStation::recv), each arrival becomes a timer
+    /// event at its propagation deadline, dispatched (decoded) to
+    /// `handler` on the worker-pool shard for `key`. No receiver
+    /// thread is needed, so a fabric of thousands of stations runs on
+    /// O(cores) threads. Deliveries to one station are serialized by
+    /// the shared shard key; the handler must not block on virtual
+    /// time (it runs on a pool worker).
+    pub fn set_rx_handler(
+        &self,
+        key: u64,
+        handler: impl Fn(EtherFrame) + Send + Sync + 'static,
+    ) {
+        let mut stations = self.segment.stations.lock();
+        if let Some(slot) = stations.iter_mut().find(|s| s.id == self.id) {
+            slot.handler = Some((key, Arc::new(handler)));
+        }
     }
 
     /// The maximum payload this station can send.

@@ -182,6 +182,99 @@ pub fn serve_with_identity(
     Ok(())
 }
 
+/// An event-driven per-connection 9P server: the connection-scale
+/// variant of [`serve`].
+///
+/// [`serve`] costs a reader thread per connection plus a worker thread
+/// per blocking request — fine for tens of connections, fatal for tens
+/// of thousands. A `NineService` has no threads at all: feed it each
+/// raw T-message as it arrives (typically from a transport readiness
+/// callback running on a worker-pool shard) and it dispatches inline
+/// and writes the R-message to the sink before returning. The trade is
+/// that the [`ProcFs`] behind it must not block — a `MemFs` or any
+/// data-at-hand filesystem qualifies; a `listen` file does not.
+pub struct NineService {
+    shared: Arc<ServerShared>,
+}
+
+impl NineService {
+    /// Wraps `fs` for event-driven service, replying on `sink`.
+    pub fn new(fs: Arc<dyn ProcFs>, sink: Box<dyn MsgSink>) -> NineService {
+        Self::with_identity(fs, sink, ServerIdentity::default())
+    }
+
+    /// Like [`NineService::new`] with an explicit [`ServerIdentity`].
+    pub fn with_identity(
+        fs: Arc<dyn ProcFs>,
+        sink: Box<dyn MsgSink>,
+        identity: ServerIdentity,
+    ) -> NineService {
+        NineService {
+            shared: Arc::new(ServerShared {
+                fs,
+                fids: Mutex::named(HashMap::new(), "ninep.server.fids"),
+                flushed: Mutex::named(HashSet::new(), "ninep.server.flushed"),
+                sink: Mutex::named(sink, "ninep.server.sink"),
+                identity,
+            }),
+        }
+    }
+
+    /// Processes one raw T-message inline and writes the reply.
+    /// Returns an error on a malformed message, which poisons the
+    /// link: the caller should hang up, as the kernel does.
+    pub fn input(&self, raw: &[u8]) -> Result<()> {
+        let shared = &self.shared;
+        let (tag, t) = match decode_tmsg(raw) {
+            Ok(x) => x,
+            Err(_) => {
+                cleanup(shared);
+                return Err(NineError::new(errstr::EBADMSG));
+            }
+        };
+        match t {
+            Tmsg::Nop => shared.reply(tag, &Rmsg::Nop),
+            Tmsg::Osession { .. } => shared.reply(
+                tag,
+                &Rmsg::Error {
+                    ename: errstr::EOBSOLETE.to_string(),
+                },
+            ),
+            Tmsg::Session { .. } => {
+                let old: Vec<FidState> = {
+                    let mut fids = shared.fids.lock();
+                    fids.drain().map(|(_, s)| s).collect()
+                };
+                for s in old {
+                    shared.fs.clunk(&s.node);
+                }
+                shared.reply(
+                    tag,
+                    &Rmsg::Session {
+                        chal: [0u8; CHAL_LEN],
+                        authid: shared.identity.authid.clone(),
+                        authdom: shared.identity.authdom.clone(),
+                    },
+                );
+            }
+            // Nothing runs long enough to flush: requests complete
+            // inline, so by the time a Tflush could arrive its target
+            // has already been answered.
+            Tmsg::Flush { .. } => shared.reply(tag, &Rmsg::Flush),
+            other => {
+                let r = handle(shared, &other).unwrap_or_else(|e| Rmsg::Error { ename: e.0 });
+                shared.reply(tag, &r);
+            }
+        }
+        Ok(())
+    }
+
+    /// Connection teardown: clunks every live fid.
+    pub fn hangup(&self) {
+        cleanup(&self.shared);
+    }
+}
+
 fn cleanup(shared: &Arc<ServerShared>) {
     let old: Vec<FidState> = {
         let mut fids = shared.fids.lock();
@@ -433,6 +526,57 @@ mod tests {
             Rmsg::Read { data, .. } => assert_eq!(data, b"hello"),
             other => panic!("got {other:?}"),
         }
+    }
+
+    #[test]
+    fn nine_service_dispatches_inline_without_threads() {
+        let fs = MemFs::new("ram", "bootes");
+        fs.put_file("/greet", b"hello").unwrap();
+        let (mut client, server_end) = MsgPipeEnd::pair();
+        let (ssink, mut ssource) = server_end.split();
+        let svc = NineService::new(fs, Box::new(ssink));
+        let mut rpc = |tag: Tag, t: &Tmsg| -> Rmsg {
+            client.sendmsg(&encode_tmsg(tag, t)).unwrap();
+            let raw = ssource.recvmsg().unwrap().unwrap();
+            svc.input(&raw).unwrap();
+            let (rtag, r) = crate::codec::decode_rmsg(&client.recvmsg().unwrap().unwrap()).unwrap();
+            assert_eq!(rtag, tag);
+            r
+        };
+        let r = rpc(
+            1,
+            &Tmsg::Attach {
+                fid: 0,
+                uname: "u".into(),
+                aname: "".into(),
+                ticket: vec![],
+            },
+        );
+        assert!(matches!(r, Rmsg::Attach { .. }), "got {r:?}");
+        let r = rpc(
+            2,
+            &Tmsg::Walk {
+                fid: 0,
+                name: "greet".into(),
+            },
+        );
+        assert!(matches!(r, Rmsg::Walk { .. }), "got {r:?}");
+        let r = rpc(3, &Tmsg::Open { fid: 0, mode: 0 });
+        assert!(matches!(r, Rmsg::Open { .. }), "got {r:?}");
+        match rpc(
+            4,
+            &Tmsg::Read {
+                fid: 0,
+                offset: 0,
+                count: 100,
+            },
+        ) {
+            Rmsg::Read { data, .. } => assert_eq!(data, b"hello"),
+            other => panic!("got {other:?}"),
+        }
+        svc.hangup();
+        // Malformed input poisons the link.
+        assert!(svc.input(&[0xff, 0xff, 0xff]).is_err());
     }
 
     #[test]

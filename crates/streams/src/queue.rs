@@ -13,17 +13,28 @@ use crate::block::{Block, BlockKind};
 use plan9_netlog::Counter;
 use plan9_support::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default queue limit in bytes, matching the generosity of kernel
 /// stream queues.
 pub const DEFAULT_LIMIT: usize = 128 * 1024;
 
+/// A writable-readiness service: instead of parking a thread in
+/// [`Queue::put`], a producer registers a closure that the queue
+/// enqueues on the worker-pool shard for its conversation key whenever
+/// a dequeue crosses the queue back below its limit.
+struct WritableService {
+    key: u64,
+    f: Arc<dyn Fn() + Send + Sync>,
+}
+
 struct QueueInner {
     blocks: VecDeque<Block>,
     bytes: usize,
     closed: bool,
     hungup: bool,
+    service: Option<WritableService>,
 }
 
 /// A bounded, blocking FIFO of blocks.
@@ -36,6 +47,8 @@ pub struct Queue {
     puts: Counter,
     /// Times a `put` had to wait on flow control.
     stalls: Counter,
+    /// Times a flow-controlled putter was woken to re-check the limit.
+    writer_wakes: Counter,
 }
 
 impl Default for Queue {
@@ -53,12 +66,14 @@ impl Queue {
                 bytes: 0,
                 closed: false,
                 hungup: false,
+                service: None,
             }, "streams.queue"),
             readable: Condvar::new(),
             writable: Condvar::new(),
             limit,
             puts: Counter::new("queue.puts"),
             stalls: Counter::new("queue.stalls"),
+            writer_wakes: Counter::new("queue.writer_wakes"),
         }
     }
 
@@ -72,6 +87,13 @@ impl Queue {
         self.stalls.get()
     }
 
+    /// Times a flow-controlled putter was woken to re-check the limit.
+    /// A dequeue that admits one writer should cost about one wake; a
+    /// thundering herd shows up here as wakes ≫ admissions.
+    pub fn writer_wake_count(&self) -> u64 {
+        self.writer_wakes.get()
+    }
+
     /// Appends a block, waiting while the queue is over its limit.
     ///
     /// Control and hangup blocks are never blocked by flow control ("the
@@ -81,13 +103,13 @@ impl Queue {
         if let Some(t) = b.trace.as_mut() {
             t.note_enqueued();
         }
+        let is_data = b.kind == BlockKind::Data;
         let mut inner = self.inner.lock();
-        if b.kind == BlockKind::Data {
-            if inner.bytes >= self.limit && !inner.closed {
-                self.stalls.inc();
-            }
+        if is_data && inner.bytes >= self.limit && !inner.closed {
+            self.stalls.inc();
             while inner.bytes >= self.limit && !inner.closed {
                 self.writable.wait(&mut inner);
+                self.writer_wakes.inc();
             }
         }
         if inner.closed {
@@ -100,7 +122,74 @@ impl Queue {
         inner.bytes += b.len();
         inner.blocks.push_back(b);
         self.readable.notify_all();
+        if is_data && inner.bytes < self.limit {
+            // Admission is one-at-a-time (dequeues wake a single
+            // writer); if this put left room, pass the baton to the
+            // next blocked writer rather than strand it.
+            self.writable.notify_one();
+        }
         Ok(())
+    }
+
+    /// Non-blocking [`Queue::put`]: `Ok(None)` means queued,
+    /// `Ok(Some(b))` hands the block back because flow control would
+    /// have parked the caller. Pair with
+    /// [`Queue::set_writable_service`] to be called back (on the
+    /// worker pool, not a dedicated thread) when the queue drains
+    /// below its limit.
+    pub fn try_put(&self, mut b: Block) -> crate::Result<Option<Block>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(plan9_ninep::NineError::new(plan9_ninep::errstr::EHUNGUP));
+        }
+        if b.kind == BlockKind::Data && inner.bytes >= self.limit {
+            return Ok(Some(b));
+        }
+        if let Some(t) = b.trace.as_mut() {
+            t.note_enqueued();
+        }
+        if b.kind == BlockKind::Hangup {
+            inner.hungup = true;
+        }
+        self.puts.inc();
+        inner.bytes += b.len();
+        inner.blocks.push_back(b);
+        self.readable.notify_all();
+        Ok(None)
+    }
+
+    /// Registers the queue's writable-readiness service: whenever a
+    /// dequeue crosses the buffered bytes back below the limit (and on
+    /// close), `f` is enqueued on the worker-pool shard for `key` —
+    /// the conversation id, so one conversation's service jobs
+    /// serialize. The closure should [`Queue::try_put`] until it gets
+    /// the block back, then wait for the next callback.
+    pub fn set_writable_service(&self, key: u64, f: impl Fn() + Send + Sync + 'static) {
+        self.inner.lock().service = Some(WritableService { key, f: Arc::new(f) });
+    }
+
+    /// Unregisters the writable-readiness service.
+    pub fn clear_writable_service(&self) {
+        self.inner.lock().service = None;
+    }
+
+    /// Writer wake-up policy, shared by every dequeue path: only a
+    /// dequeue that crosses the buffered byte count from at-or-over
+    /// the limit to under it can admit a flow-controlled putter, so
+    /// only that crossing notifies — and it notifies *one* writer
+    /// (admission chains through `put`), not all of them. Returns the
+    /// readiness service for the caller to fire after the queue lock
+    /// is released (the service may re-enter the queue).
+    fn admit_writers(
+        &self,
+        inner: &QueueInner,
+        was: usize,
+    ) -> Option<(u64, Arc<dyn Fn() + Send + Sync>)> {
+        if was < self.limit || inner.bytes >= self.limit {
+            return None;
+        }
+        self.writable.notify_one();
+        inner.service.as_ref().map(|s| (s.key, Arc::clone(&s.f)))
     }
 
     /// Puts a block back at the *front* of the queue (a partially
@@ -120,10 +209,15 @@ impl Queue {
         let mut inner = self.inner.lock();
         loop {
             if let Some(mut b) = inner.blocks.pop_front() {
+                let was = inner.bytes;
                 inner.bytes -= b.len();
-                self.writable.notify_all();
+                let svc = self.admit_writers(&inner, was);
                 if let Some(t) = b.trace.as_mut() {
                     t.note_dequeued();
+                }
+                drop(inner);
+                if let Some((key, f)) = svc {
+                    plan9_support::pool::submit_or_run(key, move || f());
                 }
                 return Some(b);
             }
@@ -142,10 +236,15 @@ impl Queue {
         let mut inner = self.inner.lock();
         loop {
             if let Some(mut b) = inner.blocks.pop_front() {
+                let was = inner.bytes;
                 inner.bytes -= b.len();
-                self.writable.notify_all();
+                let svc = self.admit_writers(&inner, was);
                 if let Some(t) = b.trace.as_mut() {
                     t.note_dequeued();
+                }
+                drop(inner);
+                if let Some((key, f)) = svc {
+                    plan9_support::pool::submit_or_run(key, move || f());
                 }
                 return Ok(Some(b));
             }
@@ -166,10 +265,15 @@ impl Queue {
     pub fn try_get(&self) -> Option<Block> {
         let mut inner = self.inner.lock();
         let mut b = inner.blocks.pop_front()?;
+        let was = inner.bytes;
         inner.bytes -= b.len();
-        self.writable.notify_all();
+        let svc = self.admit_writers(&inner, was);
         if let Some(t) = b.trace.as_mut() {
             t.note_dequeued();
+        }
+        drop(inner);
+        if let Some((key, f)) = svc {
+            plan9_support::pool::submit_or_run(key, move || f());
         }
         Some(b)
     }
@@ -181,6 +285,13 @@ impl Queue {
         inner.closed = true;
         self.readable.notify_all();
         self.writable.notify_all();
+        // A readiness-serviced producer has no parked thread to wake;
+        // call it back one last time so it observes the close.
+        let svc = inner.service.as_ref().map(|s| (s.key, Arc::clone(&s.f)));
+        drop(inner);
+        if let Some((key, f)) = svc {
+            plan9_support::pool::submit_or_run(key, move || f());
+        }
     }
 
     /// Marks the queue hung up (reads drain then see end-of-file) while
@@ -317,6 +428,85 @@ mod tests {
         let root = &t.roots()[0];
         assert_eq!(root.spans.len(), 1, "{root:?}");
         assert_eq!(root.spans[0].name, "queue");
+    }
+
+    #[test]
+    fn dequeue_wakes_at_most_the_admissible_writers() {
+        // Regression: every dequeue used to notify_all the writable
+        // condvar even when bytes stayed at/over the limit — N blocked
+        // putters woke, re-checked, and re-slept per block. Now a
+        // dequeue notifies only on crossing below the limit, and only
+        // one writer (admission chains through put).
+        const PUTTERS: usize = 8;
+        let q = Arc::new(Queue::new(10));
+        q.put(Block::data(vec![0; 10])).unwrap();
+        let threads: Vec<_> = (0..PUTTERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.put(Block::data(vec![1; 10])).unwrap())
+            })
+            .collect();
+        while q.stall_count() < PUTTERS as u64 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(q.writer_wake_count(), 0);
+        // One dequeue frees the whole limit: exactly one putter is
+        // admissible (its 10-byte block refills the queue).
+        q.get().unwrap();
+        while q.put_count() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Settle, then assert no herd: one admission, at most one wake.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.put_count(), 2, "exactly one putter admitted");
+        assert!(
+            q.writer_wake_count() <= 1,
+            "a single admissible slot must wake at most one writer, woke {}",
+            q.writer_wake_count()
+        );
+        // Drain: each dequeue admits exactly one more putter.
+        for _ in 0..PUTTERS {
+            q.get().unwrap();
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            q.writer_wake_count() <= PUTTERS as u64,
+            "wakes ({}) must not exceed admissions ({PUTTERS})",
+            q.writer_wake_count()
+        );
+    }
+
+    #[test]
+    fn writable_service_fires_on_crossing_not_every_dequeue() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = Arc::new(Queue::new(10));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        q.set_writable_service(3, move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+        });
+        // Two small blocks under the limit, then one that tops it off.
+        q.put(Block::data(vec![0; 4])).unwrap();
+        q.put(Block::data(vec![0; 4])).unwrap();
+        q.put(Block::data(vec![0; 4])).unwrap();
+        // try_put at the limit hands the block back.
+        let back = q.try_put(Block::data(vec![9; 2])).unwrap();
+        assert_eq!(back.map(|b| b.data), Some(vec![9; 2]));
+        // First dequeue crosses 12 → 8: service fires once. The next
+        // two dequeues stay under the limit: no further callbacks.
+        q.get().unwrap();
+        while fired.load(Ordering::SeqCst) < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        q.get().unwrap();
+        q.get().unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "only the crossing fires");
+        // Once writable again, try_put queues.
+        assert!(q.try_put(Block::data(vec![7; 2])).unwrap().is_none());
+        assert_eq!(q.get().unwrap().data, vec![7; 2]);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod check;
 pub mod json;
 #[cfg(debug_assertions)]
 pub mod lockdep;
+pub mod pool;
 pub mod rng;
 pub mod sync;
 pub mod time;
 pub mod vtime;
+pub mod wheel;

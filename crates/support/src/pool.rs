@@ -1,0 +1,250 @@
+//! A sharded worker pool: the kernel's soft-interrupt service threads.
+//!
+//! Thread-per-kproc hot paths (one timer thread per IL/TCP
+//! conversation, one rx loop per machine) cap a simulated fabric at a
+//! few hundred machines. This pool replaces them with a fixed set of
+//! shards; producers [`submit`] short service closures keyed by
+//! conversation (or station) id, and the shard's single worker drains
+//! them FIFO. Worker-thread count is O(shards) = O(cores), never
+//! O(conversations), and same-key jobs are serialized for free because
+//! a key always maps to the same shard.
+//!
+//! # Clock eras
+//!
+//! Workers are spawned lazily through [`vtime::kproc`](crate::vtime::kproc)
+//! on first submit, stamped with the current [`vtime::era`](crate::vtime::era).
+//! At every clock transition ([`vtime::enter`](crate::vtime::enter) and
+//! guard drop) the era bumps and [`retire`] joins the old era's
+//! workers, so a real-mode worker never services jobs inside a
+//! deterministic run (it would be an alien thread the single-runner
+//! census cannot serialize) and a census worker never outlives its
+//! clock. Jobs queued across a transition stay queued and are drained
+//! by the next era's worker, in order.
+//!
+//! # Lock order
+//!
+//! The shard lock (`support.pool.shard`) is a leaf: it is never held
+//! while a job runs, so `inet.il.conn → support.pool.shard` (a conn
+//! submitting its own service) and `job takes inet.il.conn` (the
+//! worker, lock released) cannot form a cycle. Lockdep checks this in
+//! debug builds like any other named class.
+//!
+//! # Job discipline
+//!
+//! Jobs must be short and must not block on virtual time: [`retire`]
+//! joins workers during clock transitions, so a job parked on the
+//! (defunct or not-yet-installed) clock would wedge the transition.
+//! Protocol service routines — drain a queue, send an ack, retransmit
+//! — all fit.
+
+use crate::sync::{Condvar, Mutex};
+use crate::vtime;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::OnceLock;
+
+/// Shard count: fixed so a key's shard never changes across clock
+/// eras (a remap would let two workers interleave one conversation's
+/// jobs). Eight matches the small-multiprocessor regime the paper's
+/// CPU servers ran.
+pub const NSHARDS: usize = 8;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct ShardState {
+    jobs: VecDeque<Job>,
+    /// The worker draining this shard, if one is live: its spawn era
+    /// and the handle [`retire`] joins.
+    worker: Option<(u64, vtime::KprocHandle<()>)>,
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    cv: Condvar,
+}
+
+fn shards() -> &'static [Shard; NSHARDS] {
+    static SHARDS: OnceLock<[Shard; NSHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        std::array::from_fn(|_| Shard {
+            state: Mutex::named(
+                ShardState { jobs: VecDeque::new(), worker: None },
+                "support.pool.shard",
+            ),
+            cv: Condvar::new(),
+        })
+    })
+}
+
+/// Map a conversation/station key to its shard index.
+pub fn shard_of(key: u64) -> usize {
+    (key % NSHARDS as u64) as usize
+}
+
+/// Enqueues `job` on the shard for `key` and wakes its worker,
+/// spawning the worker first if this era has none yet. Jobs with the
+/// same key run FIFO, one at a time. Fails only if the worker thread
+/// cannot be spawned — the caller (e.g. a dial path) should surface
+/// that as an error rather than panic.
+pub fn submit(key: u64, job: impl FnOnce() + Send + 'static) -> io::Result<()> {
+    let idx = shard_of(key);
+    let shard = &shards()[idx];
+    let mut st = shard.state.lock();
+    ensure_worker(idx, &mut st)?;
+    st.jobs.push_back(Box::new(job));
+    drop(st);
+    shard.cv.notify_one();
+    Ok(())
+}
+
+/// Like [`submit`], but on worker-spawn failure runs `job` inline on
+/// the calling thread instead of dropping it. For callers (the timer
+/// wheel) where a late callback beats a lost one.
+pub fn submit_or_run(key: u64, job: impl FnOnce() + Send + 'static) {
+    let idx = shard_of(key);
+    let shard = &shards()[idx];
+    let mut st = shard.state.lock();
+    if ensure_worker(idx, &mut st).is_err() {
+        drop(st);
+        job();
+        return;
+    }
+    st.jobs.push_back(Box::new(job));
+    drop(st);
+    shard.cv.notify_one();
+}
+
+/// Number of jobs currently queued across all shards (diagnostics).
+pub fn backlog() -> usize {
+    shards().iter().map(|s| s.state.lock().jobs.len()).sum()
+}
+
+/// Spawns the shard's worker if none from the current era is live.
+/// Holding the shard lock across the spawn is safe: under vtime the
+/// child gates until the spawner parks, by which point the lock is
+/// free; in real mode the child just blocks briefly on it.
+fn ensure_worker(idx: usize, st: &mut ShardState) -> io::Result<()> {
+    let era = vtime::era();
+    match &st.worker {
+        Some((e, _)) if *e == era => Ok(()),
+        _ => {
+            // A stale handle here means retire() hasn't run for this
+            // shard yet this era — it will join the old worker; we
+            // must not lose the handle. retire() always runs at the
+            // era bump, so by submit time the slot is clear.
+            let handle = vtime::kproc(&format!("pool-{idx}"), move || worker_loop(idx, era))?;
+            st.worker = Some((era, handle));
+            Ok(())
+        }
+    }
+}
+
+fn worker_loop(idx: usize, my_era: u64) {
+    let shard = &shards()[idx];
+    let mut st = shard.state.lock();
+    loop {
+        if vtime::era() != my_era {
+            return;
+        }
+        if let Some(job) = st.jobs.pop_front() {
+            drop(st);
+            job();
+            st = shard.state.lock();
+            continue;
+        }
+        shard.cv.wait(&mut st);
+    }
+}
+
+/// Joins every worker from a previous era. Called by
+/// [`vtime`](crate::vtime) at clock transitions, after the era bump;
+/// the join always runs in real-time mode (the clock is either not
+/// yet installed or already uninstalled), so it cannot park on a
+/// virtual clock.
+pub(crate) fn retire() {
+    let era = vtime::era();
+    let mut handles = Vec::new();
+    for shard in shards() {
+        let mut st = shard.state.lock();
+        if let Some((e, _)) = &st.worker {
+            if *e != era {
+                if let Some((_, h)) = st.worker.take() {
+                    handles.push(h);
+                }
+            }
+        }
+        drop(st);
+        shard.cv.notify_all();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn same_key_jobs_run_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        const N: usize = 64;
+        for i in 0..N {
+            let log = Arc::clone(&log);
+            let done = Arc::clone(&done);
+            submit(7, move || {
+                log.lock().push(i);
+                let (cnt, cv) = &*done;
+                *cnt.lock() += 1;
+                cv.notify_all();
+            })
+            .expect("submit");
+        }
+        let (cnt, cv) = &*done;
+        let mut g = cnt.lock();
+        while *g < N {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        let got = log.lock().clone();
+        let want: Vec<usize> = (0..N).collect();
+        assert_eq!(got, want, "shard must drain FIFO");
+    }
+
+    #[test]
+    fn keys_spread_over_fixed_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            seen.insert(shard_of(k));
+            assert_eq!(shard_of(k), shard_of(k), "stable mapping");
+        }
+        assert_eq!(seen.len(), NSHARDS);
+    }
+
+    #[test]
+    fn submit_counts_down_even_across_shards() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        const N: usize = 100;
+        for k in 0..N as u64 {
+            let hits = Arc::clone(&hits);
+            let done = Arc::clone(&done);
+            submit(k, move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                let (cnt, cv) = &*done;
+                *cnt.lock() += 1;
+                cv.notify_all();
+            })
+            .expect("submit");
+        }
+        let (cnt, cv) = &*done;
+        let mut g = cnt.lock();
+        while *g < N {
+            cv.wait(&mut g);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), N);
+    }
+}

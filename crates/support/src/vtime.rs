@@ -67,6 +67,31 @@ use std::time::{Duration, Instant};
 /// real-time fast path is this one load.
 static ACTIVE: AtomicBool = AtomicBool::new(false);
 
+/// The clock *era*: bumped at every install and uninstall. Long-lived
+/// service threads (the [`pool`](crate::pool) shard workers, the
+/// [`wheel`](crate::wheel) thread) record the era they were spawned in
+/// and exit when it changes, so a thread spawned under one clock
+/// regime can never service work under another — a real-mode worker
+/// surviving into a virtual run would be an alien thread the
+/// single-runner rule cannot see.
+static ERA: AtomicU64 = AtomicU64::new(0);
+
+/// The current clock era. Spawn-era mismatch is the retirement signal
+/// for pooled service threads.
+pub fn era() -> u64 {
+    ERA.load(Ordering::Acquire)
+}
+
+/// Bumps the era and retires every pooled service thread spawned under
+/// the previous one (notify, then join). Called at both clock
+/// transitions, always in real-time mode from the worker's point of
+/// view of the join.
+fn retire_services() {
+    ERA.fetch_add(1, Ordering::AcqRel);
+    crate::wheel::retire();
+    crate::pool::retire();
+}
+
 /// The installed clock, if any. A plain leaf lock: held only for a
 /// clone.
 static CLOCK: StdMutex<Option<Arc<VirtualClock>>> = StdMutex::new(None);
@@ -669,6 +694,11 @@ impl VtGuard {
 /// one is already installed: virtual runs are process-global and must
 /// not overlap (keep them in dedicated test binaries, serialized).
 pub fn enter() -> VtGuard {
+    // Retire real-mode pool/wheel service threads first: they were
+    // spawned outside any census and would keep draining work (as
+    // invisible aliens) once the clock is live. Fresh workers respawn
+    // lazily inside the census on the next submit/schedule.
+    retire_services();
     let clock = Arc::new(VirtualClock::new());
     {
         let mut cur = plock(&CLOCK);
@@ -685,6 +715,15 @@ pub fn enter() -> VtGuard {
         st.running += 1;
     }
     REG.with(|r| *r.borrow_mut() = Some(ThreadReg { clock: Arc::clone(&clock) }));
+    // Sweep the transition window: between the retire above and the
+    // install, a straggling real-mode thread (an in-flight close
+    // handshake, a frame still on the wheel) may have called
+    // schedule/submit and lazily spawned a worker stamped with the new
+    // era — a real thread the census cannot see, which would service
+    // virtual-era timers nondeterministically. Bump the era once more
+    // and join any such worker; the virtual era's workers respawn
+    // lazily inside the census on the next schedule/submit.
+    retire_services();
     VtGuard { clock }
 }
 
@@ -723,6 +762,12 @@ impl Drop for VtGuard {
             p.cv.notify_one();
         }
         st.timers.clear();
+        drop(st);
+        // Retire the census-era pool/wheel workers: the wakes above
+        // released them from their parks, the era bump makes their
+        // loops exit, and the joins below run in real time (the clock
+        // is already uninstalled).
+        retire_services();
     }
 }
 

@@ -59,4 +59,33 @@ if wall >= 5.0:
     sys.exit(f"verify: virtual loss sweep took {wall}s wall clock (>= 5s budget)")
 EOF
 
-echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate)"
+# Connection-scale gate: the cityload fabric (dial storms, accept
+# churn, pool-serviced 9P across 1k -> 10k machines) must complete its
+# virtual sweep inside a wall budget, on O(cores) service threads.
+cargo run --release --offline -p plan9-bench --bin cityload >/dev/null
+python3 -m json.tool BENCH_cityload.json >/dev/null
+python3 - <<'EOF'
+import json, sys
+b = json.load(open("BENCH_cityload.json"))
+if b.get("vtime") is not True:
+    sys.exit("verify: BENCH_cityload.json lacks \"vtime\": true")
+wall = b["virtual_sweep_wall_s"]
+if wall >= 120.0:
+    sys.exit(f"verify: cityload virtual sweep took {wall}s wall clock (>= 120s budget)")
+rows = b["sweep"]
+if not rows:
+    sys.exit("verify: cityload sweep is empty")
+top = max(rows, key=lambda r: r["machines"])
+if top["machines"] < 10_000 or top["conversations"] < 50_000:
+    sys.exit(f"verify: top cityload row is {top['machines']} machines / "
+             f"{top['conversations']} conversations (need 10k / 50k)")
+for r in rows:
+    for field in ("machines", "conversations", "rpcs", "virtual_s", "rpc_per_virtual_s"):
+        if field not in r:
+            sys.exit(f"verify: cityload row missing {field}")
+    p99 = r.get("p99_us")
+    if not p99 or any(k not in p99 or p99[k] <= 0 for k in ("64", "512", "4096")):
+        sys.exit(f"verify: cityload row {r['machines']} lacks per-size p99_us")
+EOF
+
+echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate)"

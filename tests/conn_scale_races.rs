@@ -1,0 +1,146 @@
+//! Deterministic race coverage for the connection-scale layer: queue
+//! close/hangup against blocked putters and getters, and dials racing
+//! a listener teardown — all under the virtual clock, so every
+//! "racing" interleaving is actually the *same* interleaving on every
+//! run and there is not a timing sleep in sight. The waits below are
+//! virtual-time sleeps: free of wall time, replayed identically.
+
+use plan9_inet::ip::{IpConfig, IpStack};
+use plan9_netsim::ether::EtherSegment;
+use plan9_netsim::profile::Profiles;
+use plan9_streams::block::Block;
+use plan9_streams::queue::Queue;
+use plan9_support::{time, vtime};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Spins (virtually) until `cond` holds. Under the virtual clock each
+/// sleep is a deterministic census event, not wall time.
+fn vwait(cond: impl Fn() -> bool) {
+    while !cond() {
+        time::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn close_races_blocked_putters_deterministically() {
+    const PUTTERS: usize = 6;
+    let guard = vtime::enter();
+    let h = vtime::kproc("close-race", || {
+        let q = Arc::new(Queue::new(4));
+        q.put(Block::data(vec![0; 4])).expect("fill");
+        let putters: Vec<_> = (0..PUTTERS)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                vtime::kproc(&format!("putter-{i}"), move || {
+                    q.put(Block::data(vec![1; 4]))
+                })
+                .expect("spawn putter")
+            })
+            .collect();
+        // All six must be parked on flow control before the close
+        // fires — that is the race under test.
+        vwait(|| q.stall_count() >= PUTTERS as u64);
+        q.close();
+        let results: Vec<_> = putters.into_iter().map(|p| p.join().expect("join")).collect();
+        (q.put_count(), results)
+    })
+    .expect("spawn scenario");
+    let (puts, results) = h.join().expect("scenario");
+    drop(guard);
+    assert_eq!(puts, 1, "no blocked putter may slip a block past close");
+    for r in &results {
+        assert!(r.is_err(), "a putter woken by close must fail, got {r:?}");
+    }
+}
+
+#[test]
+fn hangup_races_blocked_getters_deterministically() {
+    const GETTERS: usize = 4;
+    let guard = vtime::enter();
+    let h = vtime::kproc("hangup-race", || {
+        let q = Arc::new(Queue::new(64));
+        q.put(Block::data(vec![7])).expect("seed one block");
+        let getters: Vec<_> = (0..GETTERS)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                vtime::kproc(&format!("getter-{i}"), move || q.get()).expect("spawn getter")
+            })
+            .collect();
+        // Whatever order the getters arrive in, exactly one can win
+        // the queued block; the rest park until the hangup.
+        q.hangup();
+        getters.into_iter().map(|g| g.join().expect("join")).collect::<Vec<_>>()
+    })
+    .expect("spawn scenario");
+    let results = h.join().expect("scenario");
+    drop(guard);
+    let some = results.iter().filter(|r| r.is_some()).count();
+    let none = results.iter().filter(|r| r.is_none()).count();
+    assert_eq!(
+        (some, none),
+        (1, GETTERS - 1),
+        "one getter drains the block, the rest see end-of-file"
+    );
+}
+
+#[test]
+fn blocked_getter_survives_put_then_close() {
+    // The close must not beat a concurrent put to a parked getter:
+    // data queued before the close drains, then EOF.
+    let guard = vtime::enter();
+    let h = vtime::kproc("drain-race", || {
+        let q = Arc::new(Queue::new(64));
+        let q2 = Arc::clone(&q);
+        let getter = vtime::kproc("getter", move || (q2.get(), q2.get())).expect("spawn getter");
+        let q3 = Arc::clone(&q);
+        vtime::kproc("put-close", move || {
+            q3.put(Block::data(vec![9])).expect("put");
+            q3.close();
+        })
+        .expect("spawn put-close")
+        .join()
+        .expect("put-close");
+        getter.join().expect("getter")
+    })
+    .expect("spawn scenario");
+    let (first, second) = h.join().expect("scenario");
+    drop(guard);
+    assert_eq!(first.map(|b| b.data), Some(vec![9]), "queued data drains before EOF");
+    assert!(second.is_none(), "then the close is EOF");
+}
+
+#[test]
+fn dial_racing_listener_close_fails_cleanly() {
+    let guard = vtime::enter();
+    let h = vtime::kproc("listener-close", || {
+        let seg = EtherSegment::new(Profiles::ether_fast());
+        let a = IpStack::new_pooled(
+            seg.attach([8, 0, 0, 0xe, 0, 1]),
+            IpConfig::local("10.60.0.1"),
+        );
+        let b = IpStack::new_pooled(
+            seg.attach([8, 0, 0, 0xe, 0, 2]),
+            IpConfig::local("10.60.0.2"),
+        );
+        let listener = b.il_module().listen(&b, 17100).expect("listen");
+        // A dial that lands while the listener lives completes.
+        let conn = a.il_module().connect(&a, b.addr(), 17100).expect("first dial");
+        let srv = listener.accept_timeout(Duration::from_secs(5)).expect("accept");
+        conn.close();
+        srv.close();
+        // Now the teardown race: the listener dies, then a dial
+        // arrives at the dead port. The dialer must get a clean error
+        // (the Close reply), not a wedged conversation.
+        drop(listener);
+        let res = a.il_module().connect(&a, b.addr(), 17100);
+        let live_after = (a.il_module().conn_count(), b.il_module().conn_count());
+        (res.map(|_| ()), live_after)
+    })
+    .expect("spawn scenario");
+    let (res, (a_conns, b_conns)) = h.join().expect("scenario");
+    drop(guard);
+    assert!(res.is_err(), "dial to a closed listener must fail, got {res:?}");
+    assert_eq!(a_conns, 0, "the failed dial must not leak a conns-table entry");
+    assert_eq!(b_conns, 0, "the dead port must not hold half-open conversations");
+}
