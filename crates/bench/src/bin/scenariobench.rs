@@ -1,0 +1,168 @@
+//! Adversity at paper scale, measured: a generated internet of a
+//! thousand hosts survives a flash crowd, a flapping trunk, a
+//! backbone partition, and a murdered gateway — twice, byte-for-byte
+//! identically.
+//!
+//! The scenario engine (crates/scenario) builds the fabric from a
+//! seeded script: four cities of 250 pooled machines each, bridged
+//! Ethernets inside a city, Cyclone trunks between them, an exportfs
+//! `/net` gateway at every border, and an ndb at the paper's 43k-line
+//! scale. The script then injects the events on the shared timer
+//! wheel under the virtual clock, so the whole ordeal is a pure
+//! function of (script, seed): running it twice must produce the same
+//! canonical report text down to the last byte, and the fabric-wide
+//! frame-conservation audit (delivered == sent − dropped + duplicated
+//! on every medium) must hold on both runs.
+//!
+//! A smaller two-city row runs first as a warm-up and a second data
+//! point; the 4×250 walkthrough row is the gate. Results land in
+//! `BENCH_scenario.json` at the repository root.
+//!
+//! Usage: `cargo run -p plan9-bench --release --bin scenariobench`
+
+use plan9_scenario::Report;
+use plan9_support::{time, vtime};
+
+/// The EXPERIMENTS walkthrough: a flash crowd hits city 3 while the
+/// backbone misbehaves. 4 cities × 250 hosts, ndb at paper scale.
+const WALKTHROUGH: &str = "\
+seed 1993
+topology grid cities=4 hosts=250
+at 2s flashcrowd city=3 dials=2000 size=512 window=1s
+at 2500ms flap trunk=1-2 for 300ms
+at 8s partition {0,1}|{2,3} heal 2s
+at 12s kill gateway city=2
+end 15s
+";
+
+/// The warm-up row: two cities, one partition, small ndb.
+const WARMUP: &str = "\
+seed 7
+topology grid cities=2 hosts=50 ndb-lines=4000
+at 100ms flashcrowd city=1 dials=200 size=64 window=500ms
+at 1s partition {0}|{1} heal 500ms
+end 3s
+";
+
+struct Row {
+    name: &'static str,
+    cities: usize,
+    hosts_per_city: usize,
+    /// Payload size per event index, for labeling the p99s.
+    sizes: Vec<Option<usize>>,
+    report: Report,
+    wall_s: f64,
+}
+
+fn run_script(name: &'static str, text: &str) -> Row {
+    let sc = plan9_scenario::dsl::parse(text).expect("bench script parses");
+    let sizes = sc
+        .events
+        .iter()
+        .map(|te| match te.ev {
+            plan9_scenario::Event::FlashCrowd { size, .. } => Some(size),
+            _ => None,
+        })
+        .collect();
+    let wall0 = time::real_now();
+    let report = plan9_scenario::run(&sc);
+    let wall_s = wall0.elapsed().as_secs_f64();
+    println!(
+        "{name}: {} cities x {} hosts, dials ok={} failed={}, \
+         violations={}, residual={}, virtual {:.1}s in {wall_s:.1}s wall",
+        sc.cities,
+        sc.hosts_per_city,
+        report.dials_ok,
+        report.dials_failed,
+        report.conservation_violations,
+        report.residual_conns,
+        report.virtual_s,
+    );
+    Row {
+        name,
+        cities: sc.cities,
+        hosts_per_city: sc.hosts_per_city,
+        sizes,
+        report,
+        wall_s,
+    }
+}
+
+fn row_json(r: &Row) -> String {
+    // The engine keys p99s by event index; label them by the crowd's
+    // payload size, the way the other benches do.
+    let p99 = r
+        .report
+        .p99_us
+        .iter()
+        .map(|&(ev, us)| {
+            let size = r.sizes.get(ev).copied().flatten().unwrap_or(0);
+            format!("\"{size}\": {us}")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"name\": \"{}\", \"cities\": {}, \"hosts_per_city\": {}, \
+         \"hosts\": {}, \"dials_ok\": {}, \"dials_failed\": {}, \
+         \"p99_us\": {{{p99}}}, \"conservation_violations\": {}, \
+         \"residual_conns\": {}, \"virtual_s\": {:.1}, \"wall_s\": {:.2}}}",
+        r.name,
+        r.cities,
+        r.hosts_per_city,
+        r.cities * r.hosts_per_city,
+        r.report.dials_ok,
+        r.report.dials_failed,
+        r.report.conservation_violations,
+        r.report.residual_conns,
+        r.report.virtual_s,
+        r.wall_s,
+    )
+}
+
+fn main() {
+    println!("scenariobench — generated topologies under a deterministic adversarial script");
+
+    let guard = vtime::enter();
+    let wall0 = time::real_now();
+
+    let warmup = run_script("warmup", WARMUP);
+    assert!(warmup.report.clean(), "warm-up row violated fabric invariants");
+
+    // The gate row, twice with the same seed: the virtual clock makes
+    // the whole run a pure function of the script, so the canonical
+    // reports must match byte for byte.
+    let first = run_script("walkthrough", WALKTHROUGH);
+    let second = run_script("walkthrough-rerun", WALKTHROUGH);
+    let virtual_sweep_wall_s = wall0.elapsed().as_secs_f64();
+    drop(guard);
+
+    assert!(first.report.clean(), "walkthrough violated fabric invariants");
+    assert!(second.report.clean(), "rerun violated fabric invariants");
+    let identical = first.report.text == second.report.text;
+    assert!(identical, "same-seed runs diverged:\n--- first\n{}--- second\n{}",
+        first.report.text, second.report.text);
+    let hosts = first.cities * first.hosts_per_city;
+    assert!(hosts >= 1000, "the gate row must hold at least 1000 hosts");
+    assert!(
+        first.report.dials_ok >= 2000 && first.report.dials_failed == 0,
+        "the flash crowd must land every dial"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scenario\",\n  \"vtime\": true,\n  \
+         \"seed\": 1993,\n  \"runs_byte_identical\": {identical},\n  \
+         \"virtual_sweep_wall_s\": {virtual_sweep_wall_s:.2},\n  \
+         \"sweep\": [\n    {},\n    {}\n  ]\n}}\n",
+        row_json(&second),
+        row_json(&warmup),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scenario.json");
+    std::fs::write(path, json).expect("write BENCH_scenario.json");
+    println!();
+    println!("wrote BENCH_scenario.json");
+    println!(
+        "scenariobench: OK ({hosts} hosts, {} dials, two byte-identical runs, \
+         {virtual_sweep_wall_s:.1}s of wall clock)",
+        first.report.dials_ok,
+    );
+}

@@ -289,3 +289,39 @@ pub fn exportfs_listener(
     .map_err(|e| NineError::new(format!("spawn listener: {e}")))?;
     Ok(handle)
 }
+
+/// A running exportfs listener that can be torn down from outside —
+/// the `kill gateway` path. The accept loop is parked deep inside a
+/// protocol-device listen open; `unlisten` is the caller-supplied hook
+/// that poisons the transport listener underneath it (e.g.
+/// `IlModule::unlisten`), which errors the open, which returns the
+/// loop. exportfs itself stays transport-agnostic.
+pub struct ExportService {
+    handle: plan9_support::vtime::KprocHandle<()>,
+    unlisten: Box<dyn FnOnce() + Send>,
+}
+
+impl ExportService {
+    /// Stops accepting new calls and joins the listener thread. Does
+    /// not touch conversations already being served; hang those up at
+    /// the transport layer and their workers exit on read error.
+    pub fn shutdown(self) {
+        (self.unlisten)();
+        let _ = self.handle.join();
+    }
+}
+
+/// Like [`exportfs_listener`] serving forever, but returns a
+/// shutdown-capable [`ExportService`]. `unlisten` must make the
+/// blocked listen open fail when called (see [`ExportService`]).
+pub fn exportfs_service(
+    p: Proc,
+    addr: &str,
+    unlisten: impl FnOnce() + Send + 'static,
+) -> Result<ExportService> {
+    let handle = exportfs_listener(p, addr, usize::MAX)?;
+    Ok(ExportService {
+        handle,
+        unlisten: Box::new(unlisten),
+    })
+}

@@ -279,7 +279,11 @@ pub struct IlModule {
 }
 
 struct ListenerShared {
-    backlog_tx: Sender<Arc<IlConn>>,
+    /// `None` once [`IlModule::unlisten`] poisons the listener: the
+    /// sender drop disconnects the channel, so a blocked `accept()`
+    /// (and the protocol-device open parked inside it) errors out
+    /// instead of waiting forever.
+    backlog_tx: Mutex<Option<Sender<Arc<IlConn>>>>,
     backlog_rx: Receiver<Arc<IlConn>>,
 }
 
@@ -460,7 +464,7 @@ impl IlModule {
         };
         let (tx, rx) = bounded(64);
         let shared = Arc::new(ListenerShared {
-            backlog_tx: tx,
+            backlog_tx: Mutex::named(Some(tx), "inet.il.backlog"),
             backlog_rx: rx,
         });
         self.listeners.lock().insert(port, Arc::clone(&shared));
@@ -533,6 +537,38 @@ impl IlModule {
         if self.conns.lock().remove(key).is_some() {
             self.ports.release(key.lport);
         }
+    }
+
+    /// Closes the listener on `port` out from under its owner (a
+    /// gateway being killed). The map entry goes, so new Syncs get
+    /// Reset; the backlog sender is dropped, so a blocked `accept()` —
+    /// and the protocol-device listen open parked inside it — errors
+    /// with "listener closed" instead of waiting forever. The port
+    /// itself is released by the [`IlListener`]'s own drop, as usual.
+    /// Returns false if no listener was on `port`.
+    pub fn unlisten(&self, port: u16) -> bool {
+        let shared = self.listeners.lock().remove(&port);
+        match shared {
+            Some(s) => {
+                s.backlog_tx.lock().take();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Starts a close on every live conversation. The close handshake
+    /// (or, against a dead peer, the retransmit death timer) then
+    /// drives each one out of the conns table; under vtime the whole
+    /// drain happens in virtual milliseconds. Returns how many closes
+    /// were initiated.
+    pub fn hangup_all(&self) -> usize {
+        let conns: Vec<Arc<IlConn>> = self.conns.lock().values().cloned().collect();
+        let n = conns.len();
+        for c in &conns {
+            c.close();
+        }
+        n
     }
 }
 
@@ -1160,7 +1196,9 @@ impl IlConn {
         }
         if deliver_to_listener {
             if let Some(listener) = self.pending_listener.lock().take() {
-                let _ = listener.backlog_tx.try_send(Arc::clone(self));
+                if let Some(tx) = listener.backlog_tx.lock().as_ref() {
+                    let _ = tx.try_send(Arc::clone(self));
+                }
             }
         }
         // Every branch above may have moved ack_due/rtx_deadline; one

@@ -154,6 +154,9 @@ impl IpStack {
     /// Brings up an interface and starts its receiver processes.
     pub fn new(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
         let (loop_tx, loop_rx) = unbounded();
+        // An IP host only consumes its own unicasts and broadcasts;
+        // let the controller filter the rest off the bus.
+        station.set_address_filter(true);
         let stack = Self::build(station, cfg, Some(loop_tx), None);
         // The wire receiver: the "kernel process" the paper's device
         // interfaces wake from their interrupt routines.
@@ -187,6 +190,7 @@ impl IpStack {
     /// callers naturally do.
     pub fn new_pooled(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
         let key = station_key(&station.addr, cfg.addr);
+        station.set_address_filter(true);
         let stack = Self::build(station, cfg, None, Some(key));
         let me = Arc::downgrade(&stack);
         stack.station.set_rx_handler(key, move |frame| {
@@ -196,7 +200,7 @@ impl IpStack {
             }
             match frame.ethertype {
                 ARP_ETHERTYPE => stack.handle_arp(&frame.payload),
-                IP_ETHERTYPE => stack.handle_ip(&frame.payload),
+                IP_ETHERTYPE => stack.handle_ip(Some(frame.src), &frame.payload),
                 _ => {}
             }
         });
@@ -281,7 +285,7 @@ impl IpStack {
             };
             match frame.ethertype {
                 ARP_ETHERTYPE => self.handle_arp(&frame.payload),
-                IP_ETHERTYPE => self.handle_ip(&frame.payload),
+                IP_ETHERTYPE => self.handle_ip(Some(frame.src), &frame.payload),
                 _ => {}
             }
         }
@@ -290,7 +294,7 @@ impl IpStack {
     fn loop_loop(self: Arc<Self>, rx: Receiver<Vec<u8>>) {
         while !self.is_shutdown() {
             match rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(pkt) => self.handle_ip(&pkt),
+                Ok(pkt) => self.handle_ip(None, &pkt),
                 Err(_) => continue,
             }
         }
@@ -317,13 +321,25 @@ impl IpStack {
         }
     }
 
-    fn handle_ip(self: &Arc<Self>, packet: &[u8]) {
+    fn handle_ip(self: &Arc<Self>, src_mac: Option<plan9_netsim::ether::MacAddr>, packet: &[u8]) {
         let Some((hdr, payload)) = decode_ip(packet) else {
             self.stats.rx_errors.inc();
             return;
         };
         if hdr.dst != self.cfg.addr && hdr.dst != IpAddr::BROADCAST {
             return; // not ours; the bus shows us everything
+        }
+        // In-band ARP: a frame from a peer *is* its address mapping.
+        // Without this, a host that learned our address passively (from
+        // a broadcast it overheard) dials us without ever ARPing, and
+        // our replies — issued from a worker-shard service job that
+        // must not block on virtual time — would stall in `resolve`.
+        // Transparent bridges preserve the original source address, so
+        // the mapping is correct across segments too.
+        if let Some(mac) = src_mac {
+            if self.arp.lookup(hdr.src).is_none() {
+                self.arp.learn(hdr.src, mac);
+            }
         }
         let assembled = if hdr.frag_offset == 0 && !hdr.more_frags {
             Some(payload.to_vec())
@@ -442,7 +458,7 @@ impl IpStack {
             pool::submit_or_run(self.pooled.unwrap_or_default(), move || {
                 if let Some(stack) = me.upgrade() {
                     if !stack.is_shutdown() {
-                        stack.handle_ip(&packet);
+                        stack.handle_ip(None, &packet);
                     }
                 }
             });

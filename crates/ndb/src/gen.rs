@@ -44,6 +44,129 @@ pub fn generate_global(target_lines: usize, seed: u64) -> (String, Vec<String>) 
     (text, names)
 }
 
+/// One generated system in a topology database.
+#[derive(Clone, Debug)]
+pub struct TopoHost {
+    /// Short system name (`c2h17`, `gw3`).
+    pub sys: String,
+    /// Fully qualified domain name (`c2h17.city2.sim`).
+    pub dom: String,
+    /// Dotted-quad IP (`10.2.0.19`).
+    pub ip: String,
+    /// 12-hex-digit Ethernet address, city-coded in byte 3.
+    pub ether: String,
+    /// The city this system sits in.
+    pub city: usize,
+}
+
+/// A generated city-scale database: the ndb text plus structured
+/// records for every real host and gateway, so the caller can attach
+/// stations, register DNS zones, and sample names that must resolve.
+#[derive(Clone, Debug)]
+pub struct TopoNdb {
+    /// The full ndb file text (hosts + gateways + filler).
+    pub text: String,
+    /// Every pooled host, city-major order.
+    pub hosts: Vec<TopoHost>,
+    /// One border gateway per city.
+    pub gateways: Vec<TopoHost>,
+}
+
+/// Addressing plan shared by the generator and the topology builder:
+/// unit 1 in each city is the gateway, pooled host `h` is unit `h+2`.
+/// IP is `10.<city>.<unit/250>.<unit%250>`, the Ethernet address is
+/// `08:00:09:<city>:<unit/256>:<unit%256>` — byte 3 carries the city,
+/// which is what the inter-city bridges route on.
+pub fn topo_addr(city: usize, unit: usize) -> (String, String) {
+    let ip = format!("10.{}.{}.{}", city, unit / 250, unit % 250);
+    let ether = format!("080009{:02x}{:02x}{:02x}", city, unit / 256, unit % 256);
+    (ip, ether)
+}
+
+/// Deterministically generates the ndb for an N-city topology — every
+/// pooled host and gateway as a real entry, padded with synthetic
+/// filler systems (seeded) to roughly `target_lines` lines, the §4.1
+/// global-file scale. Real entries are pure functions of the indices;
+/// only the filler consumes random draws.
+pub fn generate_topology(
+    n_cities: usize,
+    hosts_per_city: usize,
+    target_lines: usize,
+    seed: u64,
+) -> TopoNdb {
+    let mut text = String::new();
+    let mut hosts = Vec::new();
+    let mut gateways = Vec::new();
+    text.push_str("# synthetic internet-in-a-process database (generated)\n");
+    let mut lines = 1usize;
+    for city in 0..n_cities {
+        let (ip, ether) = topo_addr(city, 1);
+        let gw = TopoHost {
+            sys: format!("gw{city}"),
+            dom: format!("gw{city}.city{city}.sim"),
+            ip,
+            ether,
+            city,
+        };
+        lines += write_topo_entry(&mut text, &gw);
+        gateways.push(gw);
+        for h in 0..hosts_per_city {
+            let (ip, ether) = topo_addr(city, h + 2);
+            let host = TopoHost {
+                sys: format!("c{city}h{h}"),
+                dom: format!("c{city}h{h}.city{city}.sim"),
+                ip,
+                ether,
+                city,
+            };
+            lines += write_topo_entry(&mut text, &host);
+            hosts.push(host);
+        }
+    }
+    // Pad to the paper's global-file scale with filler systems that
+    // belong to no city (and no DNS zone — they are the negative
+    // lookup population).
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sites = [
+        "astro", "research", "honet", "cbosgd", "ihnp4", "mtune", "allegra", "ulysses",
+    ];
+    let mut serial = 0usize;
+    while lines + 6 <= target_lines {
+        let site = sites[rng.gen_range(0..sites.len())];
+        let name = format!("{}{:05}", pick_name(&mut rng), serial);
+        serial += 1;
+        let ip = format!(
+            "135.{}.{}.{}",
+            rng.gen_range(1..200u8),
+            rng.gen_range(1..250u8),
+            rng.gen_range(1..250u8)
+        );
+        let ether: String = (0..6)
+            .map(|_| format!("{:02x}", rng.gen_range(0..=255u8)))
+            .collect();
+        writeln!(text, "sys={name}").unwrap();
+        writeln!(text, "\tdom={name}.{site}.att.com").unwrap();
+        writeln!(text, "\tip={ip} ether={ether}").unwrap();
+        writeln!(text, "\tdk=nj/{site}/{name}").unwrap();
+        writeln!(text, "\tbootf=/mips/9power").unwrap();
+        writeln!(text, "\tproto=il").unwrap();
+        lines += 6;
+    }
+    TopoNdb {
+        text,
+        hosts,
+        gateways,
+    }
+}
+
+fn write_topo_entry(text: &mut String, h: &TopoHost) -> usize {
+    writeln!(text, "sys={}", h.sys).unwrap();
+    writeln!(text, "\tdom={}", h.dom).unwrap();
+    writeln!(text, "\tip={} ether={}", h.ip, h.ether).unwrap();
+    writeln!(text, "\tproto=il").unwrap();
+    4
+}
+
 fn pick_name(rng: &mut SmallRng) -> &'static str {
     const STEMS: [&str; 12] = [
         "helix", "spindle", "bootes", "musca", "pyxis", "fornax", "lepus", "crux", "dorado",
@@ -73,6 +196,39 @@ mod tests {
         let e = db.query_one("sys", &names[0]).unwrap();
         assert!(e.get("dom").unwrap().ends_with(".att.com"));
         assert!(e.get("dk").unwrap().starts_with("nj/"));
+    }
+
+    #[test]
+    fn topology_entries_parse_and_pad_to_scale() {
+        let t = generate_topology(3, 10, 2000, 9);
+        assert_eq!(t.hosts.len(), 30);
+        assert_eq!(t.gateways.len(), 3);
+        let lines = t.text.lines().count();
+        assert!(lines > 1900 && lines <= 2000, "{lines}");
+        let db = Db::from_texts(&[&t.text]);
+        let e = db.query_one("sys", "c2h7").unwrap();
+        assert_eq!(e.get("dom").unwrap(), "c2h7.city2.sim");
+        assert_eq!(e.get("ip").unwrap(), "10.2.0.9");
+        let gw = db.query_one("sys", "gw1").unwrap();
+        assert_eq!(gw.get("ip").unwrap(), "10.1.0.1");
+        assert_eq!(gw.get("ether").unwrap(), "080009010001");
+    }
+
+    #[test]
+    fn topology_deterministic_and_addrs_unique() {
+        let a = generate_topology(2, 300, 5000, 4);
+        let b = generate_topology(2, 300, 5000, 4);
+        assert_eq!(a.text, b.text);
+        let mut ips: Vec<&str> = a
+            .hosts
+            .iter()
+            .chain(a.gateways.iter())
+            .map(|h| h.ip.as_str())
+            .collect();
+        let n = ips.len();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), n, "duplicate generated IPs");
     }
 
     #[test]

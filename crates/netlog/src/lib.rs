@@ -23,6 +23,7 @@
 //! `stats` files) lives in `plan9-core`, which simply renders these
 //! types on demand.
 
+pub mod poolstats;
 pub mod trace;
 
 use plan9_support::sync::Mutex;
@@ -325,11 +326,15 @@ pub enum Facility {
     NineP,
     Streams,
     Ip,
+    /// The worker pool and timer wheel (shard saturation, inline
+    /// fallbacks, wheel churn) — the soft-interrupt layer's own
+    /// commentary; see [`poolstats`].
+    Pool,
 }
 
 impl Facility {
     /// All facilities, in ctl-listing order.
-    pub const ALL: [Facility; 8] = [
+    pub const ALL: [Facility; 9] = [
         Facility::Il,
         Facility::Tcp,
         Facility::Udp,
@@ -338,6 +343,7 @@ impl Facility {
         Facility::NineP,
         Facility::Streams,
         Facility::Ip,
+        Facility::Pool,
     ];
 
     /// The facility's bit in the enable mask.
@@ -356,6 +362,7 @@ impl Facility {
             Facility::NineP => "9p",
             Facility::Streams => "streams",
             Facility::Ip => "ip",
+            Facility::Pool => "pool",
         }
     }
 

@@ -8,8 +8,9 @@
 //! VME-copy-limited effective throughput the paper measured (3.2 MB/s).
 
 use crate::profile::LinkProfile;
-use crate::wire::{wire_pair, RecvOutcome, WireRx, WireTx};
+use crate::wire::{wire_pair, Medium, RecvOutcome, WireRx, WireTx};
 use plan9_support::sync::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One end of a Cyclone link.
@@ -37,6 +38,13 @@ impl CycloneEnd {
     /// The largest message the link carries.
     pub fn mtu(&self) -> usize {
         self.tx.medium().profile().mtu
+    }
+
+    /// The medium of this end's *transmit* fiber. A full-duplex link is
+    /// two independent fibers; reach the other direction through the
+    /// other end's `medium()`.
+    pub fn medium(&self) -> &Arc<Medium> {
+        self.tx.medium()
     }
 }
 

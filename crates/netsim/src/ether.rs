@@ -86,7 +86,7 @@ impl EtherFrame {
 
 struct InFlight {
     deliver_at: Instant,
-    frame: Vec<u8>,
+    frame: Arc<Vec<u8>>,
 }
 
 /// A push-mode receive callback; see [`EtherStation::set_rx_handler`].
@@ -99,6 +99,12 @@ struct StationSlot {
     /// Push-mode delivery: the pool shard key and the handler. When
     /// set, frames bypass the pull queue entirely.
     handler: Option<(u64, RxHandler)>,
+    /// Hardware address filter: when set, the controller only accepts
+    /// frames addressed to this station or to the broadcast address.
+    /// Default is promiscuous (bridges and wire sniffers need every
+    /// frame); endpoint stacks opt in so a busy shared segment costs
+    /// each host only its own traffic.
+    filtered: bool,
 }
 
 /// A shared Ethernet segment: attach stations, then send and receive.
@@ -121,7 +127,7 @@ impl EtherSegment {
         let (tx, rx) = unbounded();
         let mut stations = self.stations.lock();
         let id = stations.len() as u64;
-        stations.push(StationSlot { id, addr, tx, handler: None });
+        stations.push(StationSlot { id, addr, tx, handler: None, filtered: false });
         drop(stations);
         EtherStation {
             addr,
@@ -177,9 +183,22 @@ impl EtherSegment {
             return Ok(());
         }
         let deliver_at = done + self.medium.profile().propagation + extra;
+        // One shared copy of the wire bytes feeds every station's timer
+        // event: a broadcast on a 250-host city segment costs one
+        // allocation, not 250 memcpys. Decoding still happens per
+        // delivery (each handler owns its frame), but from shared bytes.
+        let shared: Arc<Vec<u8>> = Arc::new(f);
+        // The destination address straight off the wire, for the
+        // controllers' hardware filters.
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&shared[..6]);
+        let bcast = dst == BROADCAST;
         let stations = self.stations.lock();
         for s in stations.iter() {
             if s.addr == from {
+                continue;
+            }
+            if s.filtered && !bcast && dst != s.addr {
                 continue;
             }
             match &s.handler {
@@ -193,7 +212,7 @@ impl EtherSegment {
                     // allowed to do anyway.
                     for _ in 0..copies {
                         let h = Arc::clone(h);
-                        let frame = f.clone();
+                        let frame = Arc::clone(&shared);
                         let _ = wheel::schedule(*key, deliver_at, move || {
                             if let Some(fr) = EtherFrame::decode(&frame) {
                                 h(fr);
@@ -205,7 +224,7 @@ impl EtherSegment {
                     for _ in 0..copies {
                         let _ = s.tx.send(InFlight {
                             deliver_at,
-                            frame: f.clone(),
+                            frame: Arc::clone(&shared),
                         });
                     }
                 }
@@ -274,6 +293,19 @@ impl EtherStation {
     /// O(cores) threads. Deliveries to one station are serialized by
     /// the shared shard key; the handler must not block on virtual
     /// time (it runs on a pool worker).
+    /// Engages (or releases) the controller's hardware address filter:
+    /// when on, only frames for this station's address or the broadcast
+    /// address are accepted. Off by default — a bridge must stay
+    /// promiscuous — but an endpoint stack should switch it on, so a
+    /// shared segment of hundreds of hosts charges each one for its own
+    /// traffic instead of the whole bus's.
+    pub fn set_address_filter(&self, on: bool) {
+        let mut stations = self.segment.stations.lock();
+        if let Some(slot) = stations.iter_mut().find(|s| s.id == self.id) {
+            slot.filtered = on;
+        }
+    }
+
     pub fn set_rx_handler(
         &self,
         key: u64,

@@ -11,6 +11,7 @@ use plan9_netlog::Counter;
 use plan9_support::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
 use plan9_support::sync::Mutex;
 use plan9_support::rng::SmallRng;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use plan9_support::time;
 use std::time::{Duration, Instant};
@@ -73,6 +74,11 @@ pub struct Medium {
     busy_until: Mutex<Instant>,
     rng: Mutex<SmallRng>,
     stats: WireStats,
+    /// Administrative link state: a downed medium drops every frame
+    /// (counted as sent + dropped) without consuming impairment draws,
+    /// so flapping a link never reshuffles a seeded run's later
+    /// decisions and the conservation identity keeps holding.
+    up: AtomicBool,
 }
 
 impl Medium {
@@ -84,7 +90,19 @@ impl Medium {
             busy_until: Mutex::named(time::now(), "netsim.wire.busy"),
             rng: Mutex::named(SmallRng::seed_from_u64(seed), "netsim.wire.rng"),
             stats: WireStats::new(),
+            up: AtomicBool::new(true),
         })
+    }
+
+    /// Raises or cuts the link (a trunk flap, a partition). While down,
+    /// frames are still paced onto the line but every one is dropped.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::Relaxed);
+    }
+
+    /// Whether the link is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
     }
 
     /// The profile this medium was built with.
@@ -124,6 +142,13 @@ impl Medium {
     pub(crate) fn impair(&self, frame: &mut [u8]) -> (usize, Duration) {
         let p = &self.profile;
         self.stats.sent.inc();
+        if !self.is_up() {
+            // A downed link eats the frame before the impairment dice:
+            // no RNG draw is consumed, so the surviving traffic of a
+            // seeded run is unchanged by when the flap happened.
+            self.stats.dropped.inc();
+            return (0, Duration::ZERO);
+        }
         if p.loss == 0.0 && p.dup == 0.0 && p.corrupt == 0.0 && p.reorder == 0.0 {
             self.stats.delivered.inc();
             return (1, Duration::ZERO);
@@ -466,6 +491,49 @@ mod tests {
             }
         }
         assert!(compared > 20, "expected surviving overlap, got {compared}");
+    }
+
+    #[test]
+    fn down_link_drops_without_consuming_draws() {
+        // A frame offered while the link is down must not consume any
+        // impairment draws: the flapped run's surviving frames carry
+        // exactly the decisions of a run that never offered the dropped
+        // frames at all, and conservation holds through the flap.
+        let run = |flap: bool| -> (Vec<Option<bool>>, u64, u64, u64) {
+            let medium = Medium::new(Profiles::ether_fast().with_corrupt(0.5));
+            let out = (0..100)
+                .filter(|i| flap || !(40..60).contains(i))
+                .map(|i| {
+                    if flap {
+                        medium.set_up(!(40..60).contains(&i));
+                    }
+                    let mut f = b"abcdefgh".to_vec();
+                    let (copies, _) = medium.impair(&mut f);
+                    if copies == 0 {
+                        None
+                    } else {
+                        Some(f != b"abcdefgh".to_vec())
+                    }
+                })
+                .collect();
+            let s = medium.stats();
+            (out, s.sent.get(), s.delivered.get(), s.dropped.get())
+        };
+        let (skipped, ..) = run(false);
+        let (flapped, sent, delivered, dropped) = run(true);
+        assert_eq!(sent, 100);
+        assert_eq!(dropped, 20, "the 20 flapped frames are dropped");
+        assert_eq!(delivered, sent - dropped, "conservation through the flap");
+        assert_eq!(skipped.len(), 80);
+        for (i, f) in flapped.iter().enumerate().take(60).skip(40) {
+            assert_eq!(*f, None, "frame {i} crossed a downed link");
+        }
+        for (si, fi) in (0..40).zip(0..40).chain((40..80).zip(60..100)) {
+            assert_eq!(
+                skipped[si], flapped[fi],
+                "frame {fi}: the flap consumed impairment draws"
+            );
+        }
     }
 
     #[test]

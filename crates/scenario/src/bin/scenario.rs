@@ -1,0 +1,87 @@
+//! The scenario runner: parse a script, inflict it on a generated
+//! internet, print the canonical report.
+//!
+//! Usage:
+//!   scenario <script-file>    run a script under the virtual clock
+//!   scenario --demo           run the built-in walkthrough (small)
+//!   scenario --real <file>    run under the real clock (smoke)
+//!
+//! Exits nonzero if the script fails to parse or the run violates the
+//! fabric invariants (frame conservation, no leaked conversations).
+
+use plan9_support::vtime;
+
+/// A scaled-down copy of the EXPERIMENTS walkthrough, small enough to
+/// smoke-run anywhere in a few seconds of wall clock.
+const DEMO: &str = "\
+# a flash crowd hits city 1 while the backbone misbehaves (demo scale)
+seed 42
+topology grid cities=3 hosts=8 ndb-lines=500
+at 100ms flashcrowd city=1 dials=40 size=512 window=300ms
+at 500ms flap trunk=0-1 for 100ms
+at 800ms partition {0}|{1,2} heal 200ms
+at 1200ms kill gateway city=2
+end 2s
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (real, source) = match args.first().map(String::as_str) {
+        Some("--demo") => (false, ("demo".to_string(), DEMO.to_string())),
+        Some("--real") => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            (true, (path.clone(), read_script(path)))
+        }
+        Some(path) => (false, (path.to_string(), read_script(path))),
+        None => usage(),
+    };
+    let (name, text) = source;
+    let sc = match plan9_scenario::dsl::parse(&text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("scenario: {name}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "scenario {name}: {} cities x {} hosts, {} events, seed {} ({})",
+        sc.cities,
+        sc.hosts_per_city,
+        sc.events.len(),
+        sc.seed,
+        if real { "real clock" } else { "virtual clock" },
+    );
+    let report = if real {
+        plan9_scenario::run(&sc)
+    } else {
+        let guard = vtime::enter();
+        let r = plan9_scenario::run(&sc);
+        drop(guard);
+        r
+    };
+    print!("{}", report.text);
+    if report.clean() {
+        println!("scenario {name}: OK");
+    } else {
+        println!(
+            "scenario {name}: FAILED ({} conservation violations, {} leaked conversations)",
+            report.conservation_violations, report.residual_conns
+        );
+        std::process::exit(1);
+    }
+}
+
+fn read_script(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: scenario <script-file> | --demo | --real <script-file>");
+    std::process::exit(2);
+}

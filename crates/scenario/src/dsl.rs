@@ -1,0 +1,388 @@
+//! The scenario language: a deterministic, seeded script of
+//! adversities to inflict on a generated topology.
+//!
+//! ```text
+//! # flash crowd hits city 3 while the backbone misbehaves
+//! seed 42
+//! topology grid cities=4 hosts=250
+//! at 2s flashcrowd city=3 dials=2000 size=512 window=1s
+//! at 5s flap trunk=1-2 for 300ms
+//! at 8s partition {0,1}|{2,3} heal 2s
+//! at 12s kill gateway city=2
+//! end 14s
+//! ```
+//!
+//! The grammar is line-oriented: `#` starts a comment, blank lines are
+//! skipped, and every event is pinned to a virtual instant with `at`.
+//! Durations take `us`, `ms` or `s` suffixes. Cities are 0-based.
+//! Everything random downstream (arrival offsets, client choice) draws
+//! from `seed`, so a script names one exact execution.
+
+use std::time::Duration;
+
+/// One adversity, to be applied at its scheduled instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `dials` clients (drawn from the whole internet) storm the
+    /// file server of `city` within `window`, each reading `size`
+    /// bytes over a fresh IL conversation.
+    FlashCrowd {
+        /// Target city.
+        city: usize,
+        /// Conversations to launch.
+        dials: usize,
+        /// Bytes read per conversation (64, 512 or 4096).
+        size: usize,
+        /// Arrival window the dials are spread over.
+        window: Duration,
+    },
+    /// The trunk between cities `a` and `b` goes dark for `down_for`,
+    /// then comes back.
+    Flap {
+        /// Lower city.
+        a: usize,
+        /// Higher city.
+        b: usize,
+        /// Outage length.
+        down_for: Duration,
+    },
+    /// Every trunk crossing the cut between `left` and `right` goes
+    /// down; all heal together after `heal`.
+    Partition {
+        /// Cities on one side.
+        left: Vec<usize>,
+        /// Cities on the other.
+        right: Vec<usize>,
+        /// Time until the cut heals.
+        heal: Duration,
+    },
+    /// The border gateway of `city` is killed: its exportfs listener
+    /// is torn down and every conversation it carries is hung up.
+    KillGateway {
+        /// The city losing its gateway.
+        city: usize,
+    },
+}
+
+/// A timed event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Virtual offset from scenario start.
+    pub at: Duration,
+    /// What happens.
+    pub ev: Event,
+}
+
+/// A parsed, validated scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Seed for every random draw the scenario makes.
+    pub seed: u64,
+    /// Cities on the trunk line.
+    pub cities: usize,
+    /// Pooled hosts per city.
+    pub hosts_per_city: usize,
+    /// Lines the generated ndb is padded to.
+    pub ndb_lines: usize,
+    /// The script, in arming order.
+    pub events: Vec<TimedEvent>,
+    /// When the scenario ends (events must come first).
+    pub end: Duration,
+}
+
+/// Parses a script. Errors name the offending line.
+pub fn parse(text: &str) -> Result<Scenario, String> {
+    let mut seed = 1u64;
+    let mut topo: Option<(usize, usize, usize)> = None;
+    let mut events = Vec::new();
+    let mut end = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m} ({raw:?})", ln + 1);
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words[0] {
+            "seed" => {
+                seed = words
+                    .get(1)
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("seed wants an integer".into()))?;
+            }
+            "topology" => {
+                if words.get(1) != Some(&"grid") {
+                    return Err(err("only `topology grid` is known".into()));
+                }
+                let cities = field(&words, "cities").ok_or_else(|| err("need cities=N".into()))?;
+                let hosts = field(&words, "hosts").ok_or_else(|| err("need hosts=M".into()))?;
+                let ndb_lines =
+                    field(&words, "ndb-lines").unwrap_or(crate::topology::PAPER_NDB_LINES);
+                topo = Some((cities, hosts, ndb_lines));
+            }
+            "at" => {
+                let at = words
+                    .get(1)
+                    .and_then(|w| duration(w))
+                    .ok_or_else(|| err("at wants a duration".into()))?;
+                let ev = parse_event(&words[2..]).map_err(&err)?;
+                events.push(TimedEvent { at, ev });
+            }
+            "end" => {
+                end = Some(
+                    words
+                        .get(1)
+                        .and_then(|w| duration(w))
+                        .ok_or_else(|| err("end wants a duration".into()))?,
+                );
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+    let (cities, hosts_per_city, ndb_lines) =
+        topo.ok_or("script never declared a topology".to_string())?;
+    let end = end.ok_or("script never declared an end".to_string())?;
+    let sc = Scenario {
+        seed,
+        cities,
+        hosts_per_city,
+        ndb_lines,
+        events,
+        end,
+    };
+    validate(&sc)?;
+    Ok(sc)
+}
+
+fn parse_event(words: &[&str]) -> Result<Event, String> {
+    match words.first() {
+        Some(&"flashcrowd") => {
+            let city = field(words, "city").ok_or("flashcrowd wants city=C")?;
+            let dials = field(words, "dials").ok_or("flashcrowd wants dials=K")?;
+            let size = field(words, "size").unwrap_or(512);
+            let window = field_str(words, "window")
+                .map(|w| duration(w).ok_or("bad window duration"))
+                .transpose()?
+                .unwrap_or(Duration::from_secs(1));
+            Ok(Event::FlashCrowd {
+                city,
+                dials,
+                size,
+                window,
+            })
+        }
+        Some(&"flap") => {
+            let spec = field_str(words, "trunk").ok_or("flap wants trunk=A-B")?;
+            let (a, b) = spec
+                .split_once('-')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .ok_or("bad trunk spec, want A-B")?;
+            let down_for = match words.iter().position(|w| *w == "for") {
+                Some(i) => words
+                    .get(i + 1)
+                    .and_then(|w| duration(w))
+                    .ok_or("flap wants `for <duration>`")?,
+                None => return Err("flap wants `for <duration>`".into()),
+            };
+            Ok(Event::Flap { a, b, down_for })
+        }
+        Some(&"partition") => {
+            let cut = words.get(1).ok_or("partition wants {..}|{..}")?;
+            let (l, r) = cut.split_once('|').ok_or("partition wants {..}|{..}")?;
+            let left = group(l).ok_or("bad city group")?;
+            let right = group(r).ok_or("bad city group")?;
+            let heal = match words.iter().position(|w| *w == "heal") {
+                Some(i) => words
+                    .get(i + 1)
+                    .and_then(|w| duration(w))
+                    .ok_or("partition wants `heal <duration>`")?,
+                None => return Err("partition wants `heal <duration>`".into()),
+            };
+            Ok(Event::Partition { left, right, heal })
+        }
+        Some(&"kill") => {
+            if words.get(1) != Some(&"gateway") {
+                return Err("only `kill gateway city=C` is known".into());
+            }
+            let city = field(words, "city").ok_or("kill gateway wants city=C")?;
+            Ok(Event::KillGateway { city })
+        }
+        other => Err(format!("unknown event {other:?}")),
+    }
+}
+
+fn validate(sc: &Scenario) -> Result<(), String> {
+    let n = sc.cities;
+    let check_city = |c: usize, what: &str| {
+        if c >= n {
+            Err(format!("{what} city {c} out of range (cities={n})"))
+        } else {
+            Ok(())
+        }
+    };
+    for te in &sc.events {
+        if te.at >= sc.end {
+            return Err(format!("event at {:?} is not before end {:?}", te.at, sc.end));
+        }
+        match &te.ev {
+            Event::FlashCrowd { city, dials, size, .. } => {
+                check_city(*city, "flashcrowd")?;
+                if *dials == 0 {
+                    return Err("flashcrowd wants dials >= 1".into());
+                }
+                if ![64usize, 512, 4096].contains(size) {
+                    return Err(format!("flashcrowd size {size} not in {{64,512,4096}}"));
+                }
+            }
+            Event::Flap { a, b, .. } => {
+                check_city(*a, "flap")?;
+                check_city(*b, "flap")?;
+                if b.checked_sub(*a) != Some(1) {
+                    return Err(format!("trunk {a}-{b} is not an adjacent pair"));
+                }
+            }
+            Event::Partition { left, right, .. } => {
+                for &c in left.iter().chain(right.iter()) {
+                    check_city(c, "partition")?;
+                }
+                let mut all: Vec<usize> = left.iter().chain(right.iter()).copied().collect();
+                all.sort_unstable();
+                all.dedup();
+                if all.len() != left.len() + right.len() || all.len() != n {
+                    return Err("partition groups must split every city exactly once".into());
+                }
+            }
+            Event::KillGateway { city } => check_city(*city, "kill gateway")?,
+        }
+    }
+    Ok(())
+}
+
+/// `key=value` integer fields.
+fn field(words: &[&str], key: &str) -> Option<usize> {
+    field_str(words, key)?.parse().ok()
+}
+
+fn field_str<'a>(words: &[&'a str], key: &str) -> Option<&'a str> {
+    words
+        .iter()
+        .find_map(|w| w.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// `2s`, `300ms`, `1500us`.
+fn duration(w: &str) -> Option<Duration> {
+    // Try suffixes longest-first so `ms` isn't read as `s`.
+    for (suffix, scale) in [("us", 1u64), ("ms", 1_000), ("s", 1_000_000)] {
+        if let Some(n) = w.strip_suffix(suffix) {
+            return n.parse::<u64>().ok().map(|v| Duration::from_micros(v * scale));
+        }
+    }
+    None
+}
+
+/// `{0,1}` or `0,1`.
+fn group(s: &str) -> Option<Vec<usize>> {
+    let s = s.trim().strip_prefix('{').unwrap_or(s);
+    let s = s.strip_suffix('}').unwrap_or(s);
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        out.push(part.trim().parse().ok()?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCRIPT: &str = "\
+# the walkthrough scenario
+seed 42
+topology grid cities=4 hosts=250
+at 2s flashcrowd city=3 dials=2000 size=512 window=1s
+at 5s flap trunk=1-2 for 300ms
+at 8s partition {0,1}|{2,3} heal 2s
+at 12s kill gateway city=2
+end 14s
+";
+
+    #[test]
+    fn parses_the_walkthrough() {
+        let sc = parse(SCRIPT).expect("parse");
+        assert_eq!(sc.seed, 42);
+        assert_eq!((sc.cities, sc.hosts_per_city), (4, 250));
+        assert_eq!(sc.events.len(), 4);
+        assert_eq!(
+            sc.events[0],
+            TimedEvent {
+                at: Duration::from_secs(2),
+                ev: Event::FlashCrowd {
+                    city: 3,
+                    dials: 2000,
+                    size: 512,
+                    window: Duration::from_secs(1),
+                },
+            }
+        );
+        assert_eq!(
+            sc.events[1].ev,
+            Event::Flap {
+                a: 1,
+                b: 2,
+                down_for: Duration::from_millis(300)
+            }
+        );
+        assert_eq!(
+            sc.events[2].ev,
+            Event::Partition {
+                left: vec![0, 1],
+                right: vec![2, 3],
+                heal: Duration::from_secs(2)
+            }
+        );
+        assert_eq!(sc.events[3].ev, Event::KillGateway { city: 2 });
+        assert_eq!(sc.end, Duration::from_secs(14));
+    }
+
+    #[test]
+    fn rejects_bad_scripts() {
+        // No topology.
+        assert!(parse("seed 1\nend 1s\n").is_err());
+        // Event after end.
+        assert!(parse(
+            "topology grid cities=2 hosts=1\nat 2s kill gateway city=0\nend 1s\n"
+        )
+        .is_err());
+        // Non-adjacent trunk.
+        assert!(parse(
+            "topology grid cities=3 hosts=1\nat 1s flap trunk=0-2 for 10ms\nend 2s\n"
+        )
+        .is_err());
+        // Partition that misses a city.
+        assert!(parse(
+            "topology grid cities=3 hosts=1\nat 1s partition {0}|{1} heal 1s\nend 2s\n"
+        )
+        .is_err());
+        // City out of range.
+        assert!(parse(
+            "topology grid cities=2 hosts=1\nat 1s kill gateway city=5\nend 2s\n"
+        )
+        .is_err());
+        // Unknown size.
+        assert!(parse(
+            "topology grid cities=2 hosts=1\nat 1s flashcrowd city=0 dials=5 size=100\nend 2s\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn durations_and_groups() {
+        assert_eq!(duration("1500us"), Some(Duration::from_micros(1500)));
+        assert_eq!(duration("300ms"), Some(Duration::from_millis(300)));
+        assert_eq!(duration("14s"), Some(Duration::from_secs(14)));
+        assert_eq!(duration("14"), None);
+        assert_eq!(group("{0,1}"), Some(vec![0, 1]));
+        assert_eq!(group("2,3"), Some(vec![2, 3]));
+        assert_eq!(group("{a}"), None);
+    }
+}

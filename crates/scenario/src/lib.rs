@@ -1,0 +1,29 @@
+//! Internet-in-a-process: generated topologies plus a deterministic
+//! adversarial scenario language.
+//!
+//! The paper's world is "tens of thousands of machines" spread across
+//! cities, knitted together by Cyclone trunks between Datakit switches
+//! and Ethernets fanning out at the edges, with gateway machines
+//! exporting `/net` across the boundaries (§6.1). This crate builds
+//! that world inside one process:
+//!
+//! - [`topology`] instantiates N cities of M pooled machines, each city
+//!   on its own shared Ethernet, joined by point-to-point Cyclone
+//!   trunks with transparent learning-free bridges, a gateway
+//!   [`Machine`](plan9_core::machine::Machine) at every border running
+//!   exportfs over its `/net`, and an ndb/DNS population generated at
+//!   the paper's 43,000-line scale.
+//! - [`dsl`] parses the scenario script: seeded flash crowds, trunk
+//!   flaps, partitions with scheduled heals, gateway kills.
+//! - [`engine`] executes a parsed scenario on the timer wheel under
+//!   the virtual clock, then renders a canonical report whose bytes
+//!   are identical for identical seeds — the determinism contract the
+//!   whole kernel is built around.
+
+pub mod dsl;
+pub mod engine;
+pub mod topology;
+
+pub use dsl::{Event, Scenario};
+pub use engine::{run, Report};
+pub use topology::Topology;

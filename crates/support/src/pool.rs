@@ -41,6 +41,7 @@ use crate::sync::{Condvar, Mutex};
 use crate::vtime;
 use std::collections::VecDeque;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Shard count: fixed so a key's shard never changes across clock
@@ -81,6 +82,38 @@ pub fn shard_of(key: u64) -> usize {
     (key % NSHARDS as u64) as usize
 }
 
+/// Per-shard submission counters, process-global like the shards
+/// themselves. Observers (netlog's `pool` facility) snapshot these and
+/// report deltas, so cumulative lifetime values never leak into a
+/// deterministic run's report.
+static SUBMITTED: [AtomicU64; NSHARDS] = [const { AtomicU64::new(0) }; NSHARDS];
+static INLINE_RUN: [AtomicU64; NSHARDS] = [const { AtomicU64::new(0) }; NSHARDS];
+
+/// A snapshot of the pool's counters: jobs enqueued per shard, jobs
+/// run inline on the submitter (worker-spawn failure fallback), and
+/// the instantaneous queue depth per shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs enqueued to each shard, cumulative.
+    pub submitted: [u64; NSHARDS],
+    /// Jobs run inline because the shard worker could not spawn.
+    pub inline_run: [u64; NSHARDS],
+    /// Jobs currently queued on each shard.
+    pub depth: [u64; NSHARDS],
+}
+
+/// Snapshots the pool counters (diagnostics; see netlog's `pool`
+/// facility for the rendered form).
+pub fn stats() -> PoolStats {
+    let mut s = PoolStats::default();
+    for i in 0..NSHARDS {
+        s.submitted[i] = SUBMITTED[i].load(Ordering::Relaxed);
+        s.inline_run[i] = INLINE_RUN[i].load(Ordering::Relaxed);
+        s.depth[i] = shards()[i].state.lock().jobs.len() as u64;
+    }
+    s
+}
+
 /// Enqueues `job` on the shard for `key` and wakes its worker,
 /// spawning the worker first if this era has none yet. Jobs with the
 /// same key run FIFO, one at a time. Fails only if the worker thread
@@ -93,6 +126,7 @@ pub fn submit(key: u64, job: impl FnOnce() + Send + 'static) -> io::Result<()> {
     ensure_worker(idx, &mut st)?;
     st.jobs.push_back(Box::new(job));
     drop(st);
+    SUBMITTED[idx].fetch_add(1, Ordering::Relaxed);
     shard.cv.notify_one();
     Ok(())
 }
@@ -106,11 +140,13 @@ pub fn submit_or_run(key: u64, job: impl FnOnce() + Send + 'static) {
     let mut st = shard.state.lock();
     if ensure_worker(idx, &mut st).is_err() {
         drop(st);
+        INLINE_RUN[idx].fetch_add(1, Ordering::Relaxed);
         job();
         return;
     }
     st.jobs.push_back(Box::new(job));
     drop(st);
+    SUBMITTED[idx].fetch_add(1, Ordering::Relaxed);
     shard.cv.notify_one();
 }
 

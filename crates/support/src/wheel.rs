@@ -28,6 +28,7 @@ use crate::time;
 use crate::vtime;
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -96,6 +97,7 @@ pub fn schedule(
     st.timers.insert((deadline, seq), Entry { key, cb: Box::new(cb) });
     let is_new_earliest = earliest_before.is_none_or(|k| (deadline, seq) < k);
     drop(st);
+    SCHEDULED.fetch_add(1, Ordering::Relaxed);
     if is_new_earliest {
         // The wheel thread is parked until the old earliest deadline;
         // an earlier arrival must re-aim its sleep.
@@ -107,12 +109,45 @@ pub fn schedule(
 /// Disarms a timer. Returns false if it already fired (or was
 /// cancelled); the callback may still be running on its shard.
 pub fn cancel(id: TimerId) -> bool {
-    wheel().state.lock().timers.remove(&(id.deadline, id.seq)).is_some()
+    let hit = wheel().state.lock().timers.remove(&(id.deadline, id.seq)).is_some();
+    if hit {
+        CANCELLED.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
 }
 
 /// Number of armed timers (diagnostics).
 pub fn armed() -> usize {
     wheel().state.lock().timers.len()
+}
+
+/// Lifetime wheel counters, process-global like the wheel itself.
+/// Observers snapshot and report deltas (see netlog's `pool` facility).
+static SCHEDULED: AtomicU64 = AtomicU64::new(0);
+static FIRED: AtomicU64 = AtomicU64::new(0);
+static CANCELLED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the wheel's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Timers armed over the wheel's lifetime.
+    pub scheduled: u64,
+    /// Timers whose callbacks were dispatched.
+    pub fired: u64,
+    /// Timers disarmed before firing.
+    pub cancelled: u64,
+    /// Timers currently armed.
+    pub armed: u64,
+}
+
+/// Snapshots the wheel counters (diagnostics).
+pub fn stats() -> WheelStats {
+    WheelStats {
+        scheduled: SCHEDULED.load(Ordering::Relaxed),
+        fired: FIRED.load(Ordering::Relaxed),
+        cancelled: CANCELLED.load(Ordering::Relaxed),
+        armed: armed() as u64,
+    }
 }
 
 fn ensure_worker(st: &mut WheelState) -> io::Result<()> {
@@ -147,6 +182,7 @@ fn wheel_loop(my_era: u64) {
         }
         if !due.is_empty() {
             drop(st);
+            FIRED.fetch_add(due.len() as u64, Ordering::Relaxed);
             for e in due {
                 // Per-conversation ordering: the callback runs on the
                 // key's pool shard. If the pool can't spawn its

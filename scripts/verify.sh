@@ -88,4 +88,40 @@ for r in rows:
         sys.exit(f"verify: cityload row {r['machines']} lacks per-size p99_us")
 EOF
 
-echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate)"
+# Scenario gate: the generated internet (4 cities x 250 pooled hosts,
+# paper-scale ndb) must survive the adversarial walkthrough — flash
+# crowd, trunk flap, backbone partition + heal, gateway kill — twice
+# with byte-identical reports, clean conservation, and no leaked
+# conversations, inside a wall budget.
+cargo run --release --offline -p plan9-scenario --bin scenario -- --demo >/dev/null
+cargo run --release --offline -p plan9-bench --bin scenariobench >/dev/null
+python3 -m json.tool BENCH_scenario.json >/dev/null
+python3 - <<'EOF'
+import json, sys
+b = json.load(open("BENCH_scenario.json"))
+if b.get("vtime") is not True:
+    sys.exit("verify: BENCH_scenario.json lacks \"vtime\": true")
+if b.get("runs_byte_identical") is not True:
+    sys.exit("verify: same-seed scenario runs were not byte-identical")
+wall = b["virtual_sweep_wall_s"]
+if wall >= 120.0:
+    sys.exit(f"verify: scenario sweep took {wall}s wall clock (>= 120s budget)")
+rows = b["sweep"]
+if not rows:
+    sys.exit("verify: scenario sweep is empty")
+top = rows[0]
+if top["hosts"] < 1000:
+    sys.exit(f"verify: top scenario row holds {top['hosts']} hosts (need >= 1000)")
+for r in rows:
+    if r["conservation_violations"] != 0:
+        sys.exit(f"verify: scenario row {r['name']} violated frame conservation")
+    if r["residual_conns"] != 0:
+        sys.exit(f"verify: scenario row {r['name']} leaked {r['residual_conns']} conversations")
+    if r["dials_failed"] != 0:
+        sys.exit(f"verify: scenario row {r['name']} failed {r['dials_failed']} dials")
+    p99 = r.get("p99_us")
+    if not p99 or any(v <= 0 for v in p99.values()):
+        sys.exit(f"verify: scenario row {r['name']} lacks positive p99_us")
+EOF
+
+echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate + scenario adversity gate)"

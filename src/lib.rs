@@ -13,4 +13,5 @@ pub use plan9_ndb as ndb;
 pub use plan9_netlog as netlog;
 pub use plan9_netsim as netsim;
 pub use plan9_ninep as ninep;
+pub use plan9_scenario as scenario;
 pub use plan9_streams as streams;
