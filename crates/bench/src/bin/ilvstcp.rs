@@ -275,6 +275,24 @@ fn main() {
         100.0 * (rps_off_a.max(rps_off_b) - rps_on) / rps_off_a.max(rps_off_b);
     println!("  trace on:  {rps_on:>8.0} rpc/s ({on_overhead_pct:.1}% slower, {} roots recorded)", roots.len());
 
+    // The sampled leg: 1-in-16 statistical tracing should price close
+    // to off — only every 16th RPC pays for span recording, the rest
+    // pay one relaxed counter bump at the gate.
+    let sample_n = 16u64;
+    tracer.ctl(&format!("sample {sample_n}")).expect("sample on");
+    tracer.ctl("trace on").expect("trace on");
+    let rps_sampled = run_rpc_loop(23, rpcs_off);
+    tracer.ctl("trace off").expect("trace off");
+    let sampled_roots = tracer.roots().len();
+    tracer.ctl("sample 1").expect("sample off");
+    tracer.ctl("clear").expect("clear");
+    let sampled_overhead_pct =
+        100.0 * (rps_off_a.max(rps_off_b) - rps_sampled) / rps_off_a.max(rps_off_b);
+    println!(
+        "  trace 1/{sample_n}: {rps_sampled:>8.0} rpc/s ({sampled_overhead_pct:.1}% slower, \
+         {sampled_roots} roots recorded)"
+    );
+
     // Per-layer span totals across every recorded root.
     let mut layer_rows = Vec::new();
     println!("  {:<10} {:>7} {:>12}", "layer", "spans", "total(us)");
@@ -304,6 +322,8 @@ fn main() {
          \"rpcs_off\": {rpcs_off}, \"rpcs_on\": {rpcs_on},\n    \
          \"rps_off_a\": {rps_off_a:.1}, \"rps_off_b\": {rps_off_b:.1}, \"rps_on\": {rps_on:.1},\n    \
          \"off_ab_delta_pct\": {ab_delta_pct:.3}, \"on_overhead_pct\": {on_overhead_pct:.3},\n    \
+         \"sample_n\": {sample_n}, \"rps_sampled\": {rps_sampled:.1}, \
+         \"sampled_overhead_pct\": {sampled_overhead_pct:.3},\n    \
          \"layers\": [{}]\n  }}\n}}\n",
         sweep_rows.join(",\n    "),
         vsweep_rows.join(",\n    "),

@@ -1,0 +1,277 @@
+//! netdash — fabric-wide telemetry rollup: every gateway's
+//! `/net/log/series` pulled across the fabric through exportfs, merged
+//! into one time-indexed view of the whole internet-in-a-process, plus
+//! the ranked copy-site profile behind the zero-copy roadmap item.
+//!
+//! The 4×250 EXPERIMENTS walkthrough runs with `netmon 250ms`: each
+//! gateway samples its metric registry (IL/TCP/IP counters, the il.rtt
+//! histogram, pool-shard depth and armed-timer gauges) into a bounded
+//! ring on the shared timer wheel. At scenario end, city 0's gateway
+//! imports every peer's `/net` and reads `log/series` remotely — the
+//! dashboard never needs an agent, just `read(2)` on a file the fabric
+//! already exports (§6.1 of the paper). The walkthrough runs twice
+//! with the same seed; the fetched series must match byte for byte.
+//!
+//! The merged view answers the questions an operator would ask of a
+//! wall display: fabric IL traffic per interval, mean RPC round-trip
+//! over time (the flash crowd and the partition are both visible),
+//! queue-depth watermarks, and timer backlog. The copy profile ranks
+//! every named data-path memcpy/alloc site by bytes — the measured
+//! table ROADMAP item 3 burns down.
+//!
+//! Results land in `BENCH_netmon.json` and `REPORT_netmon.txt` at the
+//! repository root.
+//!
+//! Usage: `cargo run -p plan9-bench --release --bin netdash`
+
+use plan9_support::{copysite, time, vtime};
+use std::collections::BTreeMap;
+
+/// The EXPERIMENTS walkthrough with the sampler switched on: a flash
+/// crowd hits city 3 while the backbone misbehaves, and every gateway
+/// records a 250ms-resolution series of the ordeal.
+const WALKTHROUGH: &str = "\
+seed 1993
+topology grid cities=4 hosts=250
+at 2s flashcrowd city=3 dials=2000 size=512 window=1s
+at 2500ms flap trunk=1-2 for 300ms
+at 8s partition {0,1}|{2,3} heal 2s
+at 12s kill gateway city=2
+netmon 250ms
+end 15s
+";
+
+/// One merged fabric sample: sums of per-gateway counter deltas, maxes
+/// of the process-wide scheduler gauges.
+#[derive(Default, Clone)]
+struct FabricSample {
+    il_tx: u64,
+    il_rx: u64,
+    rexmits: u64,
+    rtt_count: u64,
+    rtt_sum_us: u64,
+    queue_depth_max: u64,
+    wheel_armed: u64,
+    cities: usize,
+}
+
+/// Folds one gateway's rendered series into the fabric map, keyed by
+/// the sample's scheduled offset. Gauges only render when they change,
+/// so the parser carries the last seen value forward within a series.
+fn merge_series(fabric: &mut BTreeMap<u64, FabricSample>, body: &str) {
+    let mut t: Option<u64> = None;
+    let (mut depth_max, mut armed) = (0u64, 0u64);
+    for line in body.lines() {
+        if line.starts_with("series ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("sample ") {
+            // Leaving a sample: commit the carried gauges to it.
+            if let Some(prev) = t {
+                let f = fabric.entry(prev).or_default();
+                f.queue_depth_max = f.queue_depth_max.max(depth_max);
+                f.wheel_armed = f.wheel_armed.max(armed);
+            }
+            t = rest
+                .split_whitespace()
+                .nth(1)
+                .and_then(|w| w.strip_prefix("t="))
+                .and_then(|w| w.strip_suffix("us"))
+                .and_then(|w| w.parse().ok());
+            if let Some(at) = t {
+                fabric.entry(at).or_default().cities += 1;
+            }
+            continue;
+        }
+        let Some(at) = t else { continue };
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(second)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let f = fabric.entry(at).or_default();
+        if let Some(d) = second.strip_prefix('+') {
+            let d: u64 = d.parse().unwrap_or(0);
+            match name {
+                "il.tx" => f.il_tx += d,
+                "il.rx" => f.il_rx += d,
+                "il.rexmit" | "tcp.rexmit" => f.rexmits += d,
+                _ => {}
+            }
+        } else if let Some(v) = second.strip_prefix('=') {
+            let v: u64 = v.parse().unwrap_or(0);
+            if name.starts_with("pool.shard") && name.ends_with(".depth") {
+                depth_max = depth_max.max(v);
+            } else if name == "pool.wheel.armed" {
+                armed = v;
+            }
+        } else if second == "count" && name == "il.rtt" {
+            // `il.rtt count +<n> sum +<n>us`
+            let dc: u64 = it
+                .next()
+                .and_then(|w| w.strip_prefix('+'))
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(0);
+            let ds: u64 = it
+                .nth(1)
+                .and_then(|w| w.strip_prefix('+'))
+                .and_then(|w| w.strip_suffix("us"))
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(0);
+            f.rtt_count += dc;
+            f.rtt_sum_us += ds;
+        }
+    }
+    if let Some(prev) = t {
+        let f = fabric.entry(prev).or_default();
+        f.queue_depth_max = f.queue_depth_max.max(depth_max);
+        f.wheel_armed = f.wheel_armed.max(armed);
+    }
+}
+
+fn fabric_report(fabric: &BTreeMap<u64, FabricSample>) -> String {
+    let mut out = String::from(
+        "fabric series: t il_tx il_rx rexmits rtt_mean_us queue_max wheel_armed cities\n",
+    );
+    for (t, f) in fabric {
+        let mean = f.rtt_sum_us.checked_div(f.rtt_count).unwrap_or(0);
+        out.push_str(&format!(
+            "fabric t={t}us il_tx={} il_rx={} rexmits={} rtt_mean_us={mean} \
+             queue_max={} wheel_armed={} cities={}\n",
+            f.il_tx, f.il_rx, f.rexmits, f.queue_depth_max, f.wheel_armed, f.cities
+        ));
+    }
+    out
+}
+
+fn main() {
+    println!("netdash — fabric-wide time-series telemetry + copy-site profile");
+
+    let sc = plan9_scenario::dsl::parse(WALKTHROUGH).expect("walkthrough parses");
+    let guard = vtime::enter();
+    let wall0 = time::real_now();
+
+    let copy0 = copysite::snapshot();
+    let first = plan9_scenario::run(&sc);
+    let copy_sites = copy0.delta();
+    let second = plan9_scenario::run(&sc);
+    let wall_s = wall0.elapsed().as_secs_f64();
+    drop(guard);
+
+    assert!(first.clean(), "first run violated fabric invariants:\n{}", first.text);
+    assert!(second.clean(), "rerun violated fabric invariants:\n{}", second.text);
+    let runs_identical = first.text == second.text;
+    assert!(
+        runs_identical,
+        "same-seed reports diverged:\n--- first\n{}--- second\n{}",
+        first.text, second.text
+    );
+    let series_identical = first.series == second.series;
+    assert!(series_identical, "same-seed fabric series diverged");
+
+    // Every surviving gateway's series made it across the fabric; the
+    // murdered one (city 2) deterministically reports empty.
+    let live: Vec<&(String, String)> =
+        first.series.iter().filter(|(_, b)| !b.is_empty()).collect();
+    assert!(
+        live.len() >= sc.cities - 1,
+        "only {} of {} gateways exported a series",
+        live.len(),
+        sc.cities
+    );
+    for (sys, body) in &live {
+        let samples = body.lines().filter(|l| l.starts_with("sample ")).count();
+        assert!(samples >= 10, "{sys} recorded only {samples} samples");
+        println!("  {sys}: {samples} samples, {} bytes", body.len());
+    }
+
+    // The ranked copy table: the walkthrough must exercise at least
+    // three named sites, all with positive byte totals.
+    assert!(
+        copy_sites.len() >= 3 && copy_sites.iter().take(3).all(|c| c.bytes > 0),
+        "copy profile too thin: {copy_sites:?}"
+    );
+    println!("top copy sites:");
+    for c in copy_sites.iter().take(5) {
+        println!("  {} bytes={} calls={}", c.name, c.bytes, c.calls);
+    }
+
+    // Merge the per-gateway series into the fabric view.
+    let mut fabric = BTreeMap::new();
+    for (_, body) in &first.series {
+        merge_series(&mut fabric, body);
+    }
+    assert!(!fabric.is_empty(), "merged fabric series is empty");
+    let report = fabric_report(&fabric);
+    let report_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../REPORT_netmon.txt");
+    std::fs::write(report_path, &report).expect("write REPORT_netmon.txt");
+
+    let series_json = first
+        .series
+        .iter()
+        .map(|(sys, body)| {
+            let samples = body.lines().filter(|l| l.starts_with("sample ")).count();
+            format!(
+                "{{\"sys\": \"{sys}\", \"samples\": {samples}, \"bytes\": {}}}",
+                body.len()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let copy_json = copy_sites
+        .iter()
+        .take(10)
+        .map(|c| {
+            format!(
+                "{{\"site\": \"{}\", \"bytes\": {}, \"calls\": {}}}",
+                c.name, c.bytes, c.calls
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    let top3 = copy_sites
+        .iter()
+        .take(3)
+        .map(|c| format!("\"{}\"", c.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fabric_json = fabric
+        .iter()
+        .map(|(t, f)| {
+            let mean = f.rtt_sum_us.checked_div(f.rtt_count).unwrap_or(0);
+            format!(
+                "{{\"t_us\": {t}, \"il_tx\": {}, \"il_rx\": {}, \"rexmits\": {}, \
+                 \"rtt_mean_us\": {mean}, \"queue_depth_max\": {}, \"wheel_armed\": {}}}",
+                f.il_tx, f.il_rx, f.rexmits, f.queue_depth_max, f.wheel_armed
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+
+    let json = format!(
+        "{{\n  \"bench\": \"netmon\",\n  \"vtime\": true,\n  \"seed\": 1993,\n  \
+         \"cities\": {},\n  \"hosts_per_city\": {},\n  \
+         \"sample_interval_us\": 250000,\n  \
+         \"runs_byte_identical\": {runs_identical},\n  \
+         \"series_byte_identical\": {series_identical},\n  \
+         \"fabric_samples\": {},\n  \"wall_s\": {wall_s:.2},\n  \
+         \"top_copy_sites\": [{top3}],\n  \
+         \"series\": [\n    {series_json}\n  ],\n  \
+         \"copy_sites\": [\n    {copy_json}\n  ],\n  \
+         \"fabric\": [\n    {fabric_json}\n  ]\n}}\n",
+        sc.cities,
+        sc.hosts_per_city,
+        fabric.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netmon.json");
+    std::fs::write(path, json).expect("write BENCH_netmon.json");
+
+    println!();
+    println!("wrote BENCH_netmon.json and REPORT_netmon.txt");
+    println!(
+        "netdash: OK ({} fabric samples from {} gateways, {} copy sites, \
+         two byte-identical runs, {wall_s:.1}s wall)",
+        fabric.len(),
+        live.len(),
+        copy_sites.len()
+    );
+}

@@ -7,6 +7,14 @@
 //! device over a machine's [`plan9_netlog::EventLog`]; it is union-mounted under
 //! `/net` next to the protocol directories so the diagnostics travel
 //! with the network they describe.
+//!
+//! Two more files extend the idea to continuous measurement: `series`
+//! renders the machine's deterministic metric time series (driven by
+//! `series ...` ctl requests; see [`plan9_netlog::series`]) and `copy`
+//! renders the process-wide data-path copy-site table, ranked by
+//! bytes. Because they are ordinary files under `/net`, a remote
+//! machine that imports this `/net` can read the whole fabric's
+//! telemetry with nothing but `read(2)`.
 
 use plan9_netlog::NetLog;
 use plan9_ninep::procfs::{read_dir_slice, OpenMode, ProcFs, ServeNode};
@@ -20,6 +28,8 @@ const Q_ROOT: u32 = 0;
 const Q_LOG: u32 = 1;
 const Q_CTL: u32 = 2;
 const Q_DATA: u32 = 3;
+const Q_SERIES: u32 = 4;
+const Q_COPY: u32 = 5;
 
 /// Serves a directory `log` containing `ctl` and `data` over a
 /// machine's event log.
@@ -39,8 +49,10 @@ impl LogFs {
 
     fn log_entries(&self) -> Vec<Dir> {
         vec![
+            Dir::file("copy", Qid::file(Q_COPY, 0), 0o444, "network", 0),
             Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0),
             Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0),
+            Dir::file("series", Qid::file(Q_SERIES, 0), 0o444, "network", 0),
         ]
     }
 
@@ -78,6 +90,8 @@ impl ProcFs for LogFs {
             (Q_LOG, "..") => Ok(ServeNode::new(Qid::dir(Q_ROOT, 0), n.handle)),
             (Q_LOG, "ctl") => Ok(ServeNode::new(Qid::file(Q_CTL, 0), n.handle)),
             (Q_LOG, "data") => Ok(ServeNode::new(Qid::file(Q_DATA, 0), n.handle)),
+            (Q_LOG, "series") => Ok(ServeNode::new(Qid::file(Q_SERIES, 0), n.handle)),
+            (Q_LOG, "copy") => Ok(ServeNode::new(Qid::file(Q_COPY, 0), n.handle)),
             _ if !n.qid.is_dir() => Err(NineError::new(errstr::ENOTDIR)),
             _ => Err(NineError::new(errstr::ENOTEXIST)),
         }
@@ -87,7 +101,7 @@ impl ProcFs for LogFs {
         if n.qid.is_dir() && mode.access() != 0 {
             return Err(NineError::new(errstr::EISDIR));
         }
-        if n.qid.path_bits() == Q_DATA && mode.writable() {
+        if matches!(n.qid.path_bits(), Q_DATA | Q_SERIES | Q_COPY) && mode.writable() {
             return Err(NineError::new(errstr::EPERM));
         }
         Ok(*n)
@@ -105,6 +119,12 @@ impl ProcFs for LogFs {
             // `set` request.
             Q_CTL => Ok(Self::text_slice(self.netlog.events.mask_line(), offset, count)),
             Q_DATA => Ok(Self::text_slice(self.netlog.events.render(), offset, count)),
+            Q_SERIES => Ok(Self::text_slice(self.netlog.series.render(), offset, count)),
+            Q_COPY => Ok(Self::text_slice(
+                plan9_support::copysite::render(),
+                offset,
+                count,
+            )),
             _ => Err(NineError::new(errstr::EBADUSE)),
         }
     }
@@ -115,7 +135,13 @@ impl ProcFs for LogFs {
         }
         let req = std::str::from_utf8(data)
             .map_err(|_| NineError::new("control request is not text"))?;
-        self.netlog.events.ctl(req).map_err(NineError::new)?;
+        // `series ...` requests drive the sampler; everything else is
+        // the classic netlog facility-mask language.
+        if req.split_whitespace().next() == Some("series") {
+            plan9_netlog::series::ctl(&self.netlog, req).map_err(NineError::new)?;
+        } else {
+            self.netlog.events.ctl(req).map_err(NineError::new)?;
+        }
         Ok(data.len())
     }
 
@@ -127,6 +153,8 @@ impl ProcFs for LogFs {
             Q_LOG => Ok(Dir::directory("log", Qid::dir(Q_LOG, 0), 0o775, "network")),
             Q_CTL => Ok(Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0)),
             Q_DATA => Ok(Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0)),
+            Q_SERIES => Ok(Dir::file("series", Qid::file(Q_SERIES, 0), 0o444, "network", 0)),
+            Q_COPY => Ok(Dir::file("copy", Qid::file(Q_COPY, 0), 0o444, "network", 0)),
             _ => Err(NineError::new(errstr::EBADUSE)),
         }
     }
@@ -183,6 +211,52 @@ mod tests {
         assert!(!events.events.enabled(Facility::Arp));
         let data = walk_open(&fs, &["log", "data"], OpenMode::READ);
         assert!(fs.read(&data, 0, 4096).unwrap().is_empty());
+    }
+
+    #[test]
+    fn series_file_configures_and_reads_back() {
+        let (fs, netlog) = served();
+        let ctl = walk_open(&fs, &["log", "ctl"], OpenMode::RDWR);
+        fs.write(&ctl, 0, b"series interval 50ms").unwrap();
+        fs.write(&ctl, 0, b"series retention 16").unwrap();
+        let series = walk_open(&fs, &["log", "series"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&series, 0, 4096).unwrap()).unwrap();
+        assert!(
+            text.starts_with("series interval=50000us retention=16 samples=0\n"),
+            "{text}"
+        );
+        assert!(fs.write(&ctl, 0, b"series interval zoom").is_err());
+        // The series file itself is read-only.
+        let mut n = fs.attach("u", "").unwrap();
+        for elem in ["log", "series"] {
+            n = fs.walk(&n, elem).unwrap();
+        }
+        assert!(fs.open(&n, OpenMode::RDWR).is_err());
+        drop(netlog);
+    }
+
+    #[test]
+    fn copy_file_serves_site_table() {
+        let (fs, _netlog) = served();
+        // Touch a site so the table is guaranteed non-empty.
+        let mut b = plan9_support::buf::BytesMut::new();
+        b.put_slice(b"copied");
+        let _ = b.freeze();
+        let copy = walk_open(&fs, &["log", "copy"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&copy, 0, 65536).unwrap()).unwrap();
+        assert!(text.contains("copy buf.freeze bytes="), "{text}");
+        assert!(text.contains("copy total sites="), "{text}");
+    }
+
+    #[test]
+    fn log_dir_lists_new_files() {
+        let (fs, _netlog) = served();
+        let names: Vec<String> = fs
+            .log_entries()
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        assert_eq!(names, ["copy", "ctl", "data", "series"]);
     }
 
     #[test]

@@ -163,7 +163,10 @@ mod tests {
         assert!(tracer.enabled());
         fs.write(&ctl, 0, b"filter il 9p").unwrap();
         let text = String::from_utf8(fs.read(&ctl, 0, 128).unwrap()).unwrap();
-        assert_eq!(text, "trace on\nfilter il 9p\n");
+        assert_eq!(text, "trace on\nfilter il 9p\nsample 1\n");
+        fs.write(&ctl, 0, b"sample 8").unwrap();
+        let text = String::from_utf8(fs.read(&ctl, 0, 128).unwrap()).unwrap();
+        assert_eq!(text, "trace on\nfilter il 9p\nsample 8\n");
         fs.write(&ctl, 0, b"trace off").unwrap();
         assert!(!tracer.enabled());
     }

@@ -28,6 +28,7 @@ use crate::ports::PortSpace;
 use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, Histogram, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
+use plan9_support::copysite::Site;
 use plan9_support::sync::{Condvar, Mutex};
 use plan9_support::{time, wheel};
 use plan9_ninep::NineError;
@@ -110,9 +111,15 @@ pub struct IlPacket {
     pub payload: Vec<u8>,
 }
 
+static ENCODE_SITE: Site = Site::new("il.encode");
+static DECODE_SITE: Site = Site::new("il.decode");
+static SEGMENT_SITE: Site = Site::new("il.segment");
+static RX_SITE: Site = Site::new("il.rxcopy");
+
 /// Serializes an IL packet with checksum.
 pub fn encode_il(p: &IlPacket) -> Vec<u8> {
     let len = (IL_HDR + p.payload.len()) as u16;
+    ENCODE_SITE.record(len as usize);
     let mut b = Vec::with_capacity(len as usize);
     b.extend_from_slice(&[0, 0]); // sum
     b.extend_from_slice(&len.to_be_bytes());
@@ -146,7 +153,10 @@ pub fn decode_il(b: &[u8]) -> Option<IlPacket> {
         dst: u16::from_be_bytes([b[8], b[9]]),
         id: u32::from_be_bytes(b.get(10..14)?.try_into().ok()?),
         ack: u32::from_be_bytes(b.get(14..18)?.try_into().ok()?),
-        payload: b[IL_HDR..len].to_vec(),
+        payload: {
+            DECODE_SITE.record(len - IL_HDR);
+            b[IL_HDR..len].to_vec()
+        },
     })
 }
 
@@ -693,7 +703,10 @@ impl IlConn {
             dst: self.key.rport,
             id,
             ack,
-            payload: payload.to_vec(),
+            payload: {
+                SEGMENT_SITE.record(payload.len());
+                payload.to_vec()
+            },
         };
         stack.send(self.key.raddr, IL_PROTO, &encode_il(&pkt))
     }
@@ -721,6 +734,7 @@ impl IlConn {
             }
             inner.snd_id = inner.snd_id.wrapping_add(1);
             let id = inner.snd_id;
+            SEGMENT_SITE.record(msg.len());
             inner.unacked.insert(
                 id,
                 Sent {
@@ -1267,6 +1281,7 @@ impl IlConn {
         let expected = inner.rcv_id.wrapping_add(1);
         if pkt.id == expected {
             inner.rcv_id = pkt.id;
+            RX_SITE.record(pkt.payload.len());
             inner.rcv_q.push_back(pkt.payload.clone());
             // Resequence: drain consecutive out-of-order messages.
             loop {
@@ -1287,6 +1302,7 @@ impl IlConn {
             // Ahead of us: keep it only if within the window; "messages
             // outside the window are discarded and must be retransmitted."
             if pkt.id.wrapping_sub(inner.rcv_id) <= IL_WINDOW {
+                RX_SITE.record(pkt.payload.len());
                 inner.ooo.insert(pkt.id, pkt.payload.clone());
             }
         }

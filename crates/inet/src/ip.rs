@@ -11,8 +11,14 @@ use crate::checksum::internet_checksum;
 use crate::{il, tcp, udp};
 use plan9_netlog::{Counter, NetLog, Registry};
 use plan9_support::chan::{unbounded, Receiver, Sender};
+use plan9_support::copysite::Site;
 use plan9_support::sync::Mutex;
 use plan9_support::{pool, time, vtime};
+
+static ENCODE_SITE: Site = Site::new("ip.encode");
+static FRAGMENT_SITE: Site = Site::new("ip.fragment");
+static REASSEMBLE_SITE: Site = Site::new("ip.reassemble");
+static RX_SITE: Site = Site::new("ip.rxcopy");
 use plan9_netsim::ether::{EtherStation, BROADCAST};
 use plan9_ninep::NineError;
 use std::collections::{BTreeMap, HashMap};
@@ -342,6 +348,7 @@ impl IpStack {
             }
         }
         let assembled = if hdr.frag_offset == 0 && !hdr.more_frags {
+            RX_SITE.record(payload.len());
             Some(payload.to_vec())
         } else {
             self.reassemble(&hdr, payload)
@@ -369,6 +376,7 @@ impl IpStack {
             total: None,
             created: time::now(),
         });
+        REASSEMBLE_SITE.record(payload.len());
         buf.parts.insert(hdr.frag_offset, payload.to_vec());
         if !hdr.more_frags {
             buf.total = Some(hdr.frag_offset as usize * 8 + payload.len());
@@ -385,6 +393,7 @@ impl IpStack {
         if have != total {
             return None;
         }
+        REASSEMBLE_SITE.record(total);
         let mut out = Vec::with_capacity(total);
         for part in buf.parts.values() {
             out.extend_from_slice(part);
@@ -422,6 +431,7 @@ impl IpStack {
         while off < payload.len() {
             let end = (off + chunk).min(payload.len());
             let more = end < payload.len();
+            FRAGMENT_SITE.record(end - off);
             self.send_one(dst, proto, id, (off / 8) as u16, more, &payload[off..end])?;
             self.stats.fragments_out.inc();
             off = end;
@@ -511,6 +521,7 @@ impl IpStack {
 /// Serializes an IP header + payload.
 pub fn encode_ip(hdr: &IpHeader, payload: &[u8]) -> Vec<u8> {
     let total = (IP_HDR + payload.len()) as u16;
+    ENCODE_SITE.record(total as usize);
     let mut b = Vec::with_capacity(total as usize);
     b.push(0x45); // version 4, ihl 5
     b.push(0); // tos

@@ -17,6 +17,7 @@ use crate::ports::PortSpace;
 use plan9_netlog::trace;
 use plan9_netlog::{Counter, Facility, NetLog};
 use plan9_support::chan::{bounded, Receiver, Sender};
+use plan9_support::copysite::Site;
 use plan9_support::sync::{Condvar, Mutex};
 use plan9_support::{time, wheel};
 use plan9_ninep::NineError;
@@ -122,8 +123,13 @@ pub struct Segment {
     pub payload: Vec<u8>,
 }
 
+static ENCODE_SITE: Site = Site::new("tcp.encode");
+static SEGMENT_SITE: Site = Site::new("tcp.segment");
+static RX_SITE: Site = Site::new("tcp.rxcopy");
+
 /// Serializes a segment with checksum.
 pub fn encode_segment(s: &Segment) -> Vec<u8> {
+    ENCODE_SITE.record(TCP_HDR + s.payload.len());
     let mut b = Vec::with_capacity(TCP_HDR + s.payload.len());
     b.extend_from_slice(&s.sport.to_be_bytes());
     b.extend_from_slice(&s.dport.to_be_bytes());
@@ -697,7 +703,10 @@ impl TcpConn {
             ack,
             flags,
             window,
-            payload: payload.to_vec(),
+            payload: {
+                SEGMENT_SITE.record(payload.len());
+                payload.to_vec()
+            },
         };
         stack.tcp.stats.tx_segments.inc();
         stack.send(self.key.raddr, TCP_PROTO, &encode_segment(&seg))
@@ -1236,6 +1245,7 @@ impl TcpConn {
         }
         if !seg.payload.is_empty() {
             if seg.seq == inner.rcv_nxt {
+                RX_SITE.record(seg.payload.len());
                 inner.recv_buf.extend(seg.payload.iter().copied());
                 inner.rcv_nxt = inner.rcv_nxt.wrapping_add(seg.payload.len() as u32);
                 // Drain any out-of-order segments that now fit.
@@ -1259,6 +1269,7 @@ impl TcpConn {
                 // about to send act as a duplicate ack, cueing the
                 // sender's fast retransmit.
                 if inner.ooo.len() < 256 {
+                    RX_SITE.record(seg.payload.len());
                     inner.ooo.insert(seg.seq, seg.payload.clone());
                 }
             }

@@ -24,6 +24,7 @@
 //! types on demand.
 
 pub mod poolstats;
+pub mod series;
 pub mod trace;
 
 use plan9_support::sync::Mutex;
@@ -222,6 +223,23 @@ impl Histogram {
     }
 }
 
+/// A point-in-time, kind-tagged reading of one metric, as returned by
+/// [`Registry::sample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampledValue {
+    /// A counter's cumulative value.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(u64),
+    /// A histogram's cumulative count and sum.
+    Histogram {
+        /// Samples recorded so far.
+        count: u64,
+        /// Sum of all samples, microseconds.
+        sum_us: u64,
+    },
+}
+
 /// One metric slot in a [`Registry`].
 #[derive(Clone)]
 enum Metric {
@@ -296,6 +314,26 @@ impl Registry {
         self.metrics
             .lock()
             .insert(h.name().to_string(), Metric::Histogram(h.clone()));
+    }
+
+    /// Reads every metric's current value, kind-tagged and sorted by
+    /// name — the raw material for the time-series sampler, which
+    /// diffs successive samples (see [`series`]).
+    pub fn sample(&self) -> Vec<(String, SampledValue)> {
+        let m = self.metrics.lock();
+        m.iter()
+            .map(|(name, metric)| {
+                let v = match metric {
+                    Metric::Counter(c) => SampledValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampledValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampledValue::Histogram {
+                        count: h.count(),
+                        sum_us: h.sum_us(),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect()
     }
 
     /// Renders every metric as ASCII, sorted by name: `name value` for
@@ -532,6 +570,8 @@ pub struct NetLog {
     pub registry: Registry,
     /// The `/net/log` event ring.
     pub events: EventLog,
+    /// The `/net/log/series` time-series sampler.
+    pub series: series::Series,
 }
 
 impl NetLog {

@@ -13,7 +13,22 @@
 //! gauges (queue depth, armed timers) render the *current* value, not
 //! a delta — at a quiesced scenario end both must be zero anyway.
 
+use crate::Registry;
 use plan9_support::{pool, wheel};
+
+/// Installs (or refreshes) the scheduler-pressure gauges in `reg`:
+/// one `pool.shard<i>.depth` gauge per worker shard and a
+/// `pool.wheel.armed` gauge for pending timers. The series sampler
+/// calls this before every snapshot, so a machine's time series
+/// captures pool-shard occupancy and timer backlog alongside its
+/// protocol counters.
+pub fn update_gauges(reg: &Registry) {
+    let p = pool::stats();
+    for (i, depth) in p.depth.iter().enumerate() {
+        reg.gauge(&format!("pool.shard{i}.depth")).set(*depth);
+    }
+    reg.gauge("pool.wheel.armed").set(wheel::stats().armed);
+}
 
 /// A point-in-time snapshot of the process-wide pool/wheel counters.
 #[derive(Clone, Copy, Debug, Default)]
@@ -96,6 +111,17 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(lines, sorted, "render must be key-sorted:\n{text}");
         assert!(text.contains("pool.wheel.scheduled "), "{text}");
+    }
+
+    #[test]
+    fn update_gauges_installs_scheduler_pressure() {
+        let reg = Registry::new();
+        update_gauges(&reg);
+        let text = reg.render();
+        for i in 0..pool::NSHARDS {
+            assert!(text.contains(&format!("pool.shard{i}.depth ")), "{text}");
+        }
+        assert!(text.contains("pool.wheel.armed "), "{text}");
     }
 
     #[test]

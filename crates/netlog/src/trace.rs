@@ -110,6 +110,12 @@ struct TraceState {
 pub struct Tracer {
     on: AtomicBool,
     filter: AtomicU64,
+    /// Trace 1-in-N root arrivals (1 = every root). Cuts the trace-on
+    /// overhead enough for always-on use; see the ilvstcp bench.
+    sample: AtomicU64,
+    /// Root arrivals seen while on, sampled or not — the sampling
+    /// counter the 1-in-N gate divides.
+    arrivals: AtomicU64,
     seq: AtomicU64,
     epoch: Instant,
     state: Mutex<TraceState>,
@@ -124,6 +130,8 @@ impl Tracer {
         Arc::new(Tracer {
             on: AtomicBool::new(false),
             filter: AtomicU64::new(all),
+            sample: AtomicU64::new(1),
+            arrivals: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             epoch: plan9_support::time::now(),
             state: Mutex::new(TraceState {
@@ -149,9 +157,20 @@ impl Tracer {
         t.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 
-    /// Opens a root span. Returns `None` when tracing is off.
+    /// Opens a root span. Returns `None` when tracing is off, or when
+    /// the 1-in-N sampling gate (see `sample` ctl) skips this arrival —
+    /// a skipped root costs two relaxed atomics and no allocation.
     pub fn begin(self: &Arc<Self>, label: &str) -> Option<TraceHandle> {
         if !self.enabled() {
+            return None;
+        }
+        let n = self.sample.load(Ordering::Relaxed);
+        if n > 1
+            && !self
+                .arrivals
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n)
+        {
             return None;
         }
         let id = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
@@ -244,6 +263,7 @@ impl Tracer {
     ///
     /// * `trace on` / `trace off` — master switch
     /// * `filter [fac...]` — record only these facilities (none = all)
+    /// * `sample <n>` — trace 1-in-`n` root spans (1 = every root)
     /// * `dump` — force still-open roots into the ring, marked open
     /// * `clear` — flush the completed ring
     pub fn ctl(&self, text: &str) -> Result<(), String> {
@@ -270,6 +290,16 @@ impl Tracer {
                     mask = Facility::ALL.iter().fold(0u64, |m, f| m | f.bit());
                 }
                 self.filter.store(mask, Ordering::SeqCst);
+                Ok(())
+            }
+            ["sample", n] => {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("nettrace: bad sample rate {n}"))?;
+                if n == 0 {
+                    return Err("nettrace: sample rate must be positive".to_string());
+                }
+                self.sample.store(n, Ordering::SeqCst);
                 Ok(())
             }
             ["dump"] => {
@@ -305,9 +335,10 @@ impl Tracer {
             }
         }
         format!(
-            "trace {}\nfilter {}\n",
+            "trace {}\nfilter {}\nsample {}\n",
             if self.enabled() { "on" } else { "off" },
-            names.join(" ")
+            names.join(" "),
+            self.sample.load(Ordering::Relaxed)
         )
     }
 
@@ -624,6 +655,34 @@ mod tests {
         assert!(t.status_line().starts_with("trace off\nfilter il tcp"));
         t.ctl("trace on").unwrap();
         t.ctl("filter 9p streams").unwrap();
-        assert_eq!(t.status_line(), "trace on\nfilter 9p streams\n");
+        assert_eq!(t.status_line(), "trace on\nfilter 9p streams\nsample 1\n");
+        t.ctl("sample 16").unwrap();
+        assert_eq!(t.status_line(), "trace on\nfilter 9p streams\nsample 16\n");
+    }
+
+    #[test]
+    fn sampling_gates_one_in_n_roots() {
+        let t = Tracer::new(64);
+        t.ctl("trace on").unwrap();
+        t.ctl("sample 4").unwrap();
+        let mut opened = 0;
+        for i in 0..16 {
+            if let Some(h) = t.begin(&format!("rpc {i}")) {
+                opened += 1;
+                h.finish();
+            }
+        }
+        assert_eq!(opened, 4, "1-in-4 sampling must open 4 of 16 roots");
+        assert_eq!(t.len(), 4);
+        t.ctl("sample 1").unwrap();
+        assert!(t.begin("always").is_some(), "sample 1 traces every root");
+    }
+
+    #[test]
+    fn sample_ctl_rejects_bad_rates() {
+        let t = Tracer::new(2);
+        assert!(t.ctl("sample 0").is_err());
+        assert!(t.ctl("sample many").is_err());
+        assert!(t.ctl("sample").is_err());
     }
 }

@@ -88,6 +88,10 @@ pub struct Scenario {
     pub events: Vec<TimedEvent>,
     /// When the scenario ends (events must come first).
     pub end: Duration,
+    /// When set, every gateway samples its `/net/log/series` at this
+    /// interval and the report carries the fabric's merged series
+    /// (`netmon 250ms`).
+    pub netmon: Option<Duration>,
 }
 
 /// Parses a script. Errors name the offending line.
@@ -96,6 +100,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
     let mut topo: Option<(usize, usize, usize)> = None;
     let mut events = Vec::new();
     let mut end = None;
+    let mut netmon = None;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
@@ -136,6 +141,15 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
                         .ok_or_else(|| err("end wants a duration".into()))?,
                 );
             }
+            "netmon" => {
+                netmon = Some(
+                    words
+                        .get(1)
+                        .and_then(|w| duration(w))
+                        .filter(|d| !d.is_zero())
+                        .ok_or_else(|| err("netmon wants a sampling interval".into()))?,
+                );
+            }
             other => return Err(err(format!("unknown directive {other:?}"))),
         }
     }
@@ -149,6 +163,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
         ndb_lines,
         events,
         end,
+        netmon,
     };
     validate(&sc)?;
     Ok(sc)
@@ -373,6 +388,18 @@ end 14s
             "topology grid cities=2 hosts=1\nat 1s flashcrowd city=0 dials=5 size=100\nend 2s\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn netmon_directive_sets_interval() {
+        let sc = parse(
+            "topology grid cities=2 hosts=1\nnetmon 250ms\nend 1s\n",
+        )
+        .expect("parse");
+        assert_eq!(sc.netmon, Some(Duration::from_millis(250)));
+        assert_eq!(parse(SCRIPT).expect("parse").netmon, None);
+        assert!(parse("topology grid cities=2 hosts=1\nnetmon soon\nend 1s\n").is_err());
+        assert!(parse("topology grid cities=2 hosts=1\nnetmon 0ms\nend 1s\n").is_err());
     }
 
     #[test]

@@ -26,7 +26,8 @@ use plan9_exportfs::{exportfs_service, import, ExportService};
 use plan9_inet::il::{IlConn, TryRecv};
 use plan9_inet::ip::IpStack;
 use plan9_inet::IpAddr;
-use plan9_netlog::poolstats;
+use plan9_core::proc::Proc;
+use plan9_netlog::{poolstats, series};
 use plan9_ninep::client::NineClient;
 use plan9_ninep::procfs::{MemFs, OpenMode, ProcFs};
 use plan9_ninep::server::NineService;
@@ -63,15 +64,25 @@ pub struct Report {
     pub conservation_violations: usize,
     /// IL conversations still open after teardown (must be 0).
     pub residual_conns: usize,
+    /// Wheel timers still armed after the bounded drain (must be 0 —
+    /// a leaked timer is as much a leak as a leaked conversation).
+    pub residual_timers: usize,
+    /// When the script had a `netmon` line: each gateway's rendered
+    /// `/net/log/series`, as `(sys-name, text)` in city order, fetched
+    /// across the fabric through exportfs. An unreachable gateway
+    /// contributes an empty text.
+    pub series: Vec<(String, String)>,
     /// Virtual seconds the script took.
     pub virtual_s: f64,
 }
 
 impl Report {
     /// The scenario's pass criteria: frames conserved everywhere and
-    /// no leaked conversations.
+    /// nothing leaked — neither conversations nor armed timers.
     pub fn clean(&self) -> bool {
-        self.conservation_violations == 0 && self.residual_conns == 0
+        self.conservation_violations == 0
+            && self.residual_conns == 0
+            && self.residual_timers == 0
     }
 }
 
@@ -368,6 +379,18 @@ fn direct(sc: Scenario) -> Report {
         })
         .collect();
 
+    // netmon: every gateway samples its registry into /net/log/series
+    // on the shared interval. Started before the script is armed so
+    // the sample base precedes every event; stopped at the end mark so
+    // the sample count is a function of the script, not of teardown.
+    if let Some(interval) = sc.netmon {
+        for c in &topo.cities {
+            let nl = c.gateway.ip.as_ref().expect("gateway has a stack").netlog();
+            nl.series.set_interval(interval).expect("netmon interval");
+            series::start(nl).expect("netmon start");
+        }
+    }
+
     // Arm the script. One shard, deadlines in script time: the wheel
     // fires them in (deadline, arming) order, so dispatch is fixed.
     let t0 = time::now();
@@ -449,6 +472,16 @@ fn direct(sc: Scenario) -> Report {
         }
     }
 
+    // Freeze every sampler at the end mark: each gateway's sample
+    // count is now pinned, and the fabric fetch below cannot perturb
+    // the series it is about to read.
+    if sc.netmon.is_some() {
+        for c in &topo.cities {
+            let nl = c.gateway.ip.as_ref().expect("gateway has a stack").netlog();
+            nl.series.stop();
+        }
+    }
+
     // Collect the crowds (event order, then driver order).
     let mut dials_ok = 0usize;
     let mut dials_failed = 0usize;
@@ -466,6 +499,32 @@ fn direct(sc: Scenario) -> Report {
         dials_ok += ok;
         dials_failed += failed;
         p99_us.push((i, p));
+    }
+
+    // Fabric aggregation: city 0's gateway plays collector, importing
+    // every peer gateway's /net over exportfs and reading log/series
+    // remotely — its own series comes off its local /net. A peer that
+    // cannot be imported (killed gateway, still-partitioned trunk)
+    // contributes an empty series; that outcome is as deterministic as
+    // a healthy read.
+    let mut series_texts: Vec<(String, String)> = Vec::new();
+    if sc.netmon.is_some() {
+        let collector = &topo.cities[0].gateway;
+        let p = collector.proc();
+        for c in 0..sc.cities {
+            let gw = &topo.ndb.gateways[c];
+            let text = if c == 0 {
+                read_text(&p, "/net/log/series")
+            } else {
+                let local = format!("/n/netmon-{}", gw.sys);
+                let _ = collector.rootfs.put_dir(&local);
+                match import(&p, &format!("il!{}!exportfs", gw.ip), "/net", &local, MAFTER) {
+                    Ok(()) => read_text(&p, &format!("{local}/log/series")),
+                    Err(_) => None,
+                }
+            };
+            series_texts.push((gw.sys.clone(), text.unwrap_or_default()));
+        }
     }
 
     // Teardown, in an order that can't deadlock: stop flag first, then
@@ -501,9 +560,15 @@ fn direct(sc: Scenario) -> Report {
         time::sleep(Duration::from_millis(20));
     }
     let residual_conns = topo.conn_count();
-    while wheel::armed() > 0 || pool::backlog() > 0 {
+    // The wheel/pool drain is bounded by the same deadline: a timer
+    // that never clears must surface as a residual in the report, not
+    // hang the run. (An unstopped netmon sampler would do exactly that
+    // — it re-arms forever — which is why the series stop above is
+    // part of the protocol and why the leak audit counts timers.)
+    while (wheel::armed() > 0 || pool::backlog() > 0) && time::now() < drain_deadline {
         time::sleep(Duration::from_millis(1));
     }
+    let residual_timers = wheel::armed();
     let virtual_s = time::now().saturating_duration_since(t0).as_secs_f64();
 
     // The canonical render.
@@ -528,7 +593,19 @@ fn direct(sc: Scenario) -> Report {
     text.push_str(&format!("dials ok={dials_ok} failed={dials_failed}\n"));
     text.push_str(&format!("served conversations={served}\n"));
     text.push_str(&format!("import reads ok={import_ok} err={import_err}\n"));
+    for (sys, body) in &series_texts {
+        if body.is_empty() {
+            text.push_str(&format!("netmon {sys} unavailable\n"));
+        } else {
+            let samples = body.lines().filter(|l| l.starts_with("sample ")).count();
+            text.push_str(&format!(
+                "netmon {sys} samples={samples} bytes={}\n",
+                body.len()
+            ));
+        }
+    }
     text.push_str(&format!("residual conns={residual_conns}\n"));
+    text.push_str(&format!("residual timers={residual_timers}\n"));
     text.push_str(&cons.render());
     let (mut tx, mut rx, mut q, mut a, mut r) = (0u64, 0u64, 0u64, 0u64, 0u64);
     for s in topo.stacks() {
@@ -554,8 +631,19 @@ fn direct(sc: Scenario) -> Report {
         p99_us,
         conservation_violations,
         residual_conns,
+        residual_timers,
+        series: series_texts,
         virtual_s,
     }
+}
+
+/// Reads a whole text file through a machine's proc; `None` on any
+/// failure (the collector treats absence as an empty series).
+fn read_text(p: &Proc, path: &str) -> Option<String> {
+    let fd = p.open(path, OpenMode::READ).ok()?;
+    let text = p.read_string(fd).ok();
+    p.close(fd);
+    text
 }
 
 fn event_name(ev: &Event) -> String {
@@ -585,6 +673,7 @@ mod tests {
              topology grid cities=2 hosts=3 ndb-lines=200\n\
              at 100ms flashcrowd city=1 dials=6 size=64 window=200ms\n\
              at 400ms flap trunk=0-1 for 50ms\n\
+             netmon 100ms\n\
              end 800ms\n",
         )
         .expect("parse");
@@ -594,6 +683,14 @@ mod tests {
         drop(guard);
         assert!(a.clean(), "run not clean:\n{}", a.text);
         assert_eq!(a.dials_ok + a.dials_failed, 6);
+        // Both gateways' series made it across the fabric, non-empty,
+        // and identical between the two same-seed runs.
+        assert_eq!(a.series.len(), 2, "{}", a.text);
+        for ((sys, body), (_, body_b)) in a.series.iter().zip(&b.series) {
+            assert!(!body.is_empty(), "empty series for {sys}:\n{}", a.text);
+            assert!(body.starts_with("series interval=100000us"), "{body}");
+            assert_eq!(body, body_b, "series for {sys} diverged");
+        }
         for (la, lb) in a.text.lines().zip(b.text.lines()) {
             assert_eq!(la, lb, "first divergent report line");
         }

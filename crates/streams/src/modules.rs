@@ -8,8 +8,13 @@ use crate::block::{Block, BlockKind};
 use crate::module::{ModuleCtx, StreamModule};
 use crate::Result;
 use plan9_netlog::Counter;
+use plan9_support::copysite::Site;
 use plan9_support::sync::Mutex;
 use std::sync::Arc;
+
+static PREPEND_SITE: Site = Site::new("streams.delim.prepend");
+static COALESCE_SITE: Site = Site::new("streams.delim.coalesce");
+static BYTESTUFF_SITE: Site = Site::new("streams.bytestuff");
 
 /// A snooping module: counts and optionally copies traffic in both
 /// directions without altering it — the "diagnostic interfaces for
@@ -131,6 +136,7 @@ impl StreamModule for DelimMod {
         if b.kind != BlockKind::Data {
             return ctx.send_down(b);
         }
+        PREPEND_SITE.record(4 + b.len());
         let mut framed = Vec::with_capacity(4 + b.len());
         framed.extend_from_slice(&(b.len() as u32).to_le_bytes());
         framed.extend_from_slice(&b.data);
@@ -159,6 +165,7 @@ impl StreamModule for DelimMod {
             if buf.len() < 4 + need {
                 return Ok(());
             }
+            COALESCE_SITE.record(need);
             let msg: Vec<u8> = buf[4..4 + need].to_vec();
             buf.drain(..4 + need);
             // Coalescing: the reassembled message keeps the trace of
@@ -208,6 +215,7 @@ impl StreamModule for ByteStuff {
             }
         }
         out.push(self.flag);
+        BYTESTUFF_SITE.record(out.len());
         ctx.send_down(
             Block {
                 kind: BlockKind::Data,

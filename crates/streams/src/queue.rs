@@ -11,10 +11,16 @@
 
 use crate::block::{Block, BlockKind};
 use plan9_netlog::Counter;
+use plan9_support::copysite::Site;
 use plan9_support::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Bytes entering stream queues. Not a memcpy itself, but every block
+/// queued here was allocated to cross the queue — the figure the
+/// zero-copy work wants alongside the true copy sites.
+static QPUT_SITE: Site = Site::new("streams.qput");
 
 /// Default queue limit in bytes, matching the generosity of kernel
 /// stream queues.
@@ -119,6 +125,7 @@ impl Queue {
             inner.hungup = true;
         }
         self.puts.inc();
+        QPUT_SITE.record(b.len());
         inner.bytes += b.len();
         inner.blocks.push_back(b);
         self.readable.notify_all();
@@ -152,6 +159,7 @@ impl Queue {
             inner.hungup = true;
         }
         self.puts.inc();
+        QPUT_SITE.record(b.len());
         inner.bytes += b.len();
         inner.blocks.push_back(b);
         self.readable.notify_all();

@@ -3,9 +3,14 @@
 //! [`BytesMut`], cursor-style readers, cheap splitting, and frozen
 //! shared [`Bytes`] views backed by one allocation.
 
+use crate::copysite::Site;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
+
+static SPLIT_SITE: Site = Site::new("buf.split");
+static FREEZE_SITE: Site = Site::new("buf.freeze");
+static FROM_SLICE_SITE: Site = Site::new("buf.from_slice");
 
 /// A growable byte buffer with a read cursor.
 ///
@@ -74,6 +79,7 @@ impl BytesMut {
     /// buffer, consuming them from `self`.
     pub fn split_to(&mut self, n: usize) -> BytesMut {
         assert!(n <= self.remaining(), "split_to past end of buffer");
+        SPLIT_SITE.record(n);
         let head = self.as_slice()[..n].to_vec();
         self.read += n;
         BytesMut {
@@ -85,6 +91,7 @@ impl BytesMut {
     /// Freezes the unread remainder into an immutable, cheaply
     /// cloneable [`Bytes`].
     pub fn freeze(self) -> Bytes {
+        FREEZE_SITE.record(self.remaining());
         let slice: Arc<[u8]> = self.as_slice().into();
         let end = slice.len();
         Bytes {
@@ -149,6 +156,7 @@ impl AsRef<[u8]> for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(src: &[u8]) -> BytesMut {
+        FROM_SLICE_SITE.record(src.len());
         BytesMut {
             data: src.to_vec(),
             read: 0,

@@ -30,6 +30,7 @@ pub mod bench;
 pub mod buf;
 pub mod chan;
 pub mod check;
+pub mod copysite;
 pub mod json;
 #[cfg(debug_assertions)]
 pub mod lockdep;

@@ -124,4 +124,39 @@ for r in rows:
         sys.exit(f"verify: scenario row {r['name']} lacks positive p99_us")
 EOF
 
-echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate + scenario adversity gate)"
+# netmon gate: the instrumented walkthrough (netmon 250ms on the 4x250
+# fabric) must yield non-empty per-gateway series fetched across the
+# fabric, byte-identical between two same-seed runs, plus a ranked
+# copy-site table whose top three sites all moved bytes — inside a
+# wall budget.
+cargo run --release --offline -p plan9-bench --bin netdash >/dev/null
+python3 -m json.tool BENCH_netmon.json >/dev/null
+python3 - <<'EOF'
+import json, sys
+b = json.load(open("BENCH_netmon.json"))
+if b.get("vtime") is not True:
+    sys.exit("verify: BENCH_netmon.json lacks \"vtime\": true")
+if b.get("runs_byte_identical") is not True:
+    sys.exit("verify: same-seed netmon runs were not byte-identical")
+if b.get("series_byte_identical") is not True:
+    sys.exit("verify: same-seed fabric series were not byte-identical")
+wall = b["wall_s"]
+if wall >= 120.0:
+    sys.exit(f"verify: netdash took {wall}s wall clock (>= 120s budget)")
+series = b.get("series", [])
+live = [s for s in series if s["samples"] > 0 and s["bytes"] > 0]
+if len(live) < 3:
+    sys.exit(f"verify: only {len(live)} gateways exported a non-empty series")
+if b.get("fabric_samples", 0) <= 0 or not b.get("fabric"):
+    sys.exit("verify: merged fabric series is empty")
+sites = b.get("copy_sites", [])
+if len(sites) < 3 or any(s["bytes"] <= 0 for s in sites[:3]):
+    sys.exit(f"verify: top copy sites lack positive byte totals: {sites[:3]}")
+if sites != sorted(sites, key=lambda s: -s["bytes"]):
+    sys.exit("verify: copy sites are not ranked by bytes")
+top3 = b.get("top_copy_sites", [])
+if len(top3) != 3 or top3 != [s["site"] for s in sites[:3]]:
+    sys.exit(f"verify: top_copy_sites disagrees with the ranked table: {top3}")
+EOF
+
+echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate + scenario adversity gate + netmon telemetry gate)"

@@ -1,0 +1,93 @@
+//! netmon determinism: the time-series sampler is driven by the timer
+//! wheel under the virtual clock, so sampling is part of the replayable
+//! event sequence — two same-seed scenario runs must render every
+//! gateway's `/net/log/series` byte-identically, and each snapshot must
+//! land at exactly `base + k*interval`, never "close to it".
+
+use plan9_netlog::{series, NetLog};
+use plan9_support::{time, vtime};
+use std::time::Duration;
+
+/// Under the virtual clock the sampler fires at its scheduled instant
+/// exactly: `fired_us == at_us == k*interval` for every sample. On a
+/// real clock those drift apart; on the discrete-event clock any drift
+/// is a determinism bug.
+#[test]
+fn snapshots_are_interval_aligned_under_vtime() {
+    let guard = vtime::enter();
+    let nl = NetLog::new();
+    nl.series.set_interval(Duration::from_millis(10)).expect("interval");
+    series::start(&nl).expect("start");
+    let ticks = nl.registry.counter("test.ticks");
+    for _ in 0..12 {
+        ticks.inc();
+        time::sleep(Duration::from_millis(10));
+    }
+    nl.series.stop();
+    let samples = nl.series.samples();
+    drop(guard);
+
+    assert!(samples.len() >= 10, "only {} samples", samples.len());
+    for (i, s) in samples.iter().enumerate() {
+        assert_eq!(s.k, i as u64 + 1, "sample indices must be dense");
+        assert_eq!(
+            s.at_us,
+            s.k * 10_000,
+            "sample {} scheduled off-grid",
+            s.k
+        );
+        assert_eq!(
+            s.fired_us, s.at_us,
+            "sample {} fired {}us after its instant",
+            s.k,
+            s.fired_us - s.at_us
+        );
+    }
+}
+
+const SCRIPT: &str = "\
+seed 41
+topology grid cities=2 hosts=4 ndb-lines=300
+at 100ms flashcrowd city=1 dials=12 size=512 window=300ms
+netmon 50ms
+end 700ms
+";
+
+/// The fabric contract: both gateways' series, fetched across the
+/// fabric through exportfs by the collector, are non-empty, land on
+/// the 50ms grid, and replay byte-for-byte from the same seed.
+#[test]
+fn same_seed_runs_render_series_byte_identical() {
+    let sc = plan9_scenario::dsl::parse(SCRIPT).expect("script parses");
+    let guard = vtime::enter();
+    let first = plan9_scenario::run(&sc);
+    let second = plan9_scenario::run(&sc);
+    drop(guard);
+
+    assert!(first.clean(), "first run dirty:\n{}", first.text);
+    assert_eq!(first.series.len(), 2, "{}", first.text);
+    for (sys, body) in &first.series {
+        assert!(!body.is_empty(), "{sys} exported no series:\n{}", first.text);
+        assert!(
+            body.starts_with("series interval=50000us"),
+            "{sys}: {body}"
+        );
+        for line in body.lines().filter(|l| l.starts_with("sample ")) {
+            let mut w = line.split_whitespace();
+            let k: u64 = w.nth(1).expect("index").parse().expect("index");
+            let t: u64 = w
+                .next()
+                .and_then(|s| s.strip_prefix("t="))
+                .and_then(|s| s.strip_suffix("us"))
+                .expect("offset")
+                .parse()
+                .expect("offset");
+            assert_eq!(t, k * 50_000, "{sys} sample {k} off the interval grid");
+        }
+    }
+    assert_eq!(
+        first.series, second.series,
+        "same-seed fabric series diverged"
+    );
+    assert_eq!(first.text, second.text, "same-seed reports diverged");
+}
