@@ -104,6 +104,9 @@ fn drain(svc: &Weak<NineService>, conn: &Weak<IlConn>) {
     loop {
         match conn.try_recv() {
             Ok(TryRecv::Msg(m)) => {
+                // blocking-ok: this service wraps a MemFs, whose ProcFs
+                // ops answer from memory; relay-backed services run on
+                // dedicated kprocs, never on pool shards
                 if svc.input(&m).is_err() {
                     conn.close();
                     return;
@@ -111,6 +114,8 @@ fn drain(svc: &Weak<NineService>, conn: &Weak<IlConn>) {
             }
             Ok(TryRecv::Empty) => return,
             Ok(TryRecv::Eof) | Err(_) => {
+                // blocking-ok: MemFs-backed service, as above — clunks
+                // answer from memory
                 svc.hangup();
                 return;
             }

@@ -38,6 +38,11 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod flow;
+pub mod graph;
+pub mod lockgraph;
+pub mod report;
+
 /// Crates whose `src` is a kernel path: a panic there is a stream-wide
 /// outage, so the panic-path rule applies.
 pub const KERNEL_CRATES: &[&str] = &["streams", "inet", "core", "ninep", "netsim"];
@@ -61,6 +66,15 @@ pub enum Rule {
     MonoClock,
     /// A manifest dependency that is not a path/workspace dep.
     RegistryDep,
+    /// A blocking primitive (condvar wait, chan recv, sleep, join,
+    /// ARP resolve) reachable from a non-blocking root (pool job,
+    /// wheel callback, rx handler) without `// blocking-ok:`.
+    BlockingContext,
+    /// A panic site (`panic!`/`unwrap`/`expect`/…) reachable from a
+    /// non-blocking root without `// checked:`.
+    PanicReach,
+    /// A cycle in the static acquired-while-held lock-order graph.
+    LockCycle,
 }
 
 impl Rule {
@@ -72,6 +86,9 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::MonoClock => "mono-clock",
             Rule::RegistryDep => "registry-dep",
+            Rule::BlockingContext => "blocking-context",
+            Rule::PanicReach => "panic-reach",
+            Rule::LockCycle => "lock-cycle",
         }
     }
 }
@@ -110,12 +127,12 @@ impl fmt::Display for Violation {
 // literals or prose.
 
 /// One source line after lexing.
-struct LexedLine {
+pub(crate) struct LexedLine {
     /// Code with string/char contents replaced by spaces (delimiting
     /// quotes kept) and comments removed.
-    code: String,
+    pub(crate) code: String,
     /// The text of any comments on the line (both `//` and `/* */`).
-    comment: String,
+    pub(crate) comment: String,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -128,6 +145,12 @@ enum LexState {
 
 /// Lexes full source text into per-line code/comment views. The state
 /// machine carries block comments and multi-line strings across lines.
+/// Also the front door for [`graph`]'s tokenizer: string contents are
+/// blanked column-preserving, so spans survive into the raw line.
+pub(crate) fn lex_lines(source: &str) -> Vec<LexedLine> {
+    lex(source)
+}
+
 fn lex(source: &str) -> Vec<LexedLine> {
     let mut out = Vec::new();
     let mut state = LexState::Code;
@@ -269,7 +292,7 @@ fn lex(source: &str) -> Vec<LexedLine> {
 /// Tracks `#[cfg(test)]` / `#[test]` regions: from the attribute to the
 /// close of the following brace-delimited item (or its terminating `;`
 /// for brace-less items).
-struct TestRegion {
+pub(crate) struct TestRegion {
     /// Attribute seen, waiting for the item's opening brace.
     pending: bool,
     /// Brace depth inside the skipped item; `None` when not skipping.
@@ -277,7 +300,7 @@ struct TestRegion {
 }
 
 impl TestRegion {
-    fn new() -> TestRegion {
+    pub(crate) fn new() -> TestRegion {
         TestRegion {
             pending: false,
             depth: None,
@@ -285,7 +308,7 @@ impl TestRegion {
     }
 
     /// Feeds one code line; returns true if the line is test-only.
-    fn feed(&mut self, code: &str) -> bool {
+    pub(crate) fn feed(&mut self, code: &str) -> bool {
         let trimmed = code.trim();
         if self.depth.is_none()
             && !self.pending

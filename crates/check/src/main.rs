@@ -1,23 +1,42 @@
-//! `plan9-check`: run the netcheck lint pass against a workspace and
-//! gate on the baseline ratchet.
+//! `plan9-check`: run the netcheck lint pass — and, with `--flow`, the
+//! checkflow interprocedural passes — against a workspace and gate on
+//! the baseline ratchet.
 //!
 //! ```text
 //! plan9-check [--root DIR] [--baseline FILE] [--list] [--update-baseline]
+//!             [--flow] [--report FILE] [--observed FILE] [--budget-ms N]
 //! ```
 //!
+//! `--flow` builds the whole-workspace call graph and adds three rule
+//! classes on top of the line lints: `blocking-context` (no blocking
+//! primitive reachable from a pool/wheel/rx root), `panic-reach` (no
+//! panic reachable from those roots), and `lock-cycle` (the static
+//! acquired-while-held graph is acyclic). It writes
+//! `REPORT_checkflow.json` (graph stats, witness paths, lock-order
+//! cross-check against `scripts/lockgraph-observed.txt`) and enforces
+//! its own wall budget: verify.sh runs this before every build, so a
+//! slow analysis is itself a regression.
+//!
 //! Exit status: 0 when no rule has more violations than the baseline
-//! tolerates, 1 on regression (diagnostics printed per offending
-//! `file:line`), 2 on usage or I/O errors.
+//! tolerates (and, under `--flow`, the budget holds), 1 on regression,
+//! 2 on usage or I/O errors.
 
-use plan9_check::{compare, format_baseline, parse_baseline, scan_workspace, tally};
+use plan9_check::{
+    compare, flow, format_baseline, graph, lockgraph, parse_baseline, report, scan_workspace,
+    tally,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut observed_path: Option<PathBuf> = None;
     let mut list = false;
     let mut update = false;
+    let mut flow_mode = false;
+    let mut budget_ms: u128 = 10_000;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -30,20 +49,86 @@ fn main() -> ExitCode {
                 Some(v) => baseline_path = Some(PathBuf::from(v)),
                 None => return usage("--baseline needs a file"),
             },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a file"),
+            },
+            "--observed" => match args.next() {
+                Some(v) => observed_path = Some(PathBuf::from(v)),
+                None => return usage("--observed needs a file"),
+            },
+            "--budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => budget_ms = v,
+                None => return usage("--budget-ms needs a number"),
+            },
             "--list" => list = true,
             "--update-baseline" => update = true,
+            "--flow" => flow_mode = true,
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("scripts/check-baseline.txt"));
+    // checked: lint wall budget; the host clock is the measurand here
+    let started = std::time::Instant::now();
 
-    let violations = match scan_workspace(&root) {
+    let mut violations = match scan_workspace(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("plan9-check: scanning {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    let mut flow_summary = String::new();
+    if flow_mode {
+        let g = match graph::build_graph(&root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("plan9-check: building call graph under {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let blocking = flow::blocking_findings(&g);
+        let panics = flow::panic_findings(&g);
+        let observed_path =
+            observed_path.unwrap_or_else(|| root.join("scripts/lockgraph-observed.txt"));
+        let observed = std::fs::read_to_string(&observed_path).ok();
+        let locks = lockgraph::analyze(&g, observed.as_deref());
+
+        violations.extend(flow::to_violations(&blocking));
+        violations.extend(flow::to_violations(&panics));
+        violations.extend(lockgraph::to_violations(&locks));
+
+        let wall_ms = started.elapsed().as_millis();
+        let text = report::render(&g, &blocking, &panics, &locks, wall_ms);
+        let report_path = report_path.unwrap_or_else(|| root.join("REPORT_checkflow.json"));
+        if let Err(e) = std::fs::write(&report_path, text) {
+            eprintln!("plan9-check: writing {}: {e}", report_path.display());
+            return ExitCode::from(2);
+        }
+        flow_summary = format!(
+            "plan9-check: flow: {} fns, {} call sites ({} resolved), {} roots; \
+             blocking {} / panic-reach {} / lock edges {} ({} untested, {} dynamic-only, \
+             {} cycles, {} dead classes){}",
+            g.fns.len(),
+            g.call_sites(),
+            g.resolved_calls,
+            g.roots().count(),
+            blocking.len(),
+            panics.len(),
+            locks.edges.len(),
+            locks.untested().count(),
+            locks.dynamic_only.len(),
+            locks.cycles.len(),
+            locks.dead_classes.len(),
+            if locks.cross_checked {
+                ""
+            } else {
+                " [no runtime dump: lock edges unconfirmed]"
+            },
+        );
+    }
+
     let current = tally(&violations);
 
     if list {
@@ -85,7 +170,8 @@ fn main() -> ExitCode {
         }
         eprintln!(
             "plan9-check: FAIL: fix the new violations (or, for a justified \
-             infallible call, annotate it `// checked: <reason>`)"
+             infallible call, annotate it `// checked: <reason>`; for a \
+             bounded wait in a non-blocking context, `// blocking-ok: <reason>`)"
         );
         return ExitCode::from(1);
     }
@@ -99,16 +185,33 @@ fn main() -> ExitCode {
              `cargo run -p plan9-check -- --update-baseline`"
         );
     }
+    if !flow_summary.is_empty() {
+        println!("{flow_summary}");
+    }
+    let wall_ms = started.elapsed().as_millis();
+    if flow_mode && wall_ms > budget_ms {
+        eprintln!(
+            "plan9-check: FAIL: {wall_ms}ms exceeds the --budget-ms {budget_ms} wall budget"
+        );
+        return ExitCode::from(1);
+    }
     println!(
-        "plan9-check: OK: {} violations (baseline {}) across panic-path/raw-sync/wall-clock/mono-clock/registry-dep",
-        cmp.total_current, cmp.total_baseline
+        "plan9-check: OK: {} violations (baseline {}) across {} in {wall_ms}ms",
+        cmp.total_current,
+        cmp.total_baseline,
+        if flow_mode {
+            "panic-path/raw-sync/wall-clock/mono-clock/registry-dep/blocking-context/panic-reach/lock-cycle"
+        } else {
+            "panic-path/raw-sync/wall-clock/mono-clock/registry-dep"
+        }
     );
     ExitCode::SUCCESS
 }
 
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "plan9-check: {err}\nusage: plan9-check [--root DIR] [--baseline FILE] [--list] [--update-baseline]"
+        "plan9-check: {err}\nusage: plan9-check [--root DIR] [--baseline FILE] [--list] \
+         [--update-baseline] [--flow] [--report FILE] [--observed FILE] [--budget-ms N]"
     );
     ExitCode::from(2)
 }

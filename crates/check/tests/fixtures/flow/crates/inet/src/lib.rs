@@ -1,0 +1,101 @@
+//! The seeded kernel: one deliberate bug per checkflow pass.
+//!
+//! 1. `service` submits a pool job that ends up blocking inside
+//!    `resolve` — the blocking-context pass must trace
+//!    `{closure} -> deliver` to the `resolve` sink.
+//! 2. `arm` schedules a wheel callback that panics two calls deep —
+//!    the panic-reach pass must trace `{closure} -> tick -> decode`
+//!    to the `unwrap` sink.
+//! 3. `Pair::split` and `Pair::merge` take the same two locks in
+//!    opposite orders — the lock-order pass must report the
+//!    `fix.left`/`fix.right` cycle.
+
+use plan9_support::pool;
+use plan9_support::sync::{Condvar, Mutex};
+use plan9_support::wheel;
+use std::time::Duration;
+
+/// An address cache in the style of the ARP resolver.
+pub struct Cache {
+    entries: Mutex<u64>,
+    learned: Condvar,
+}
+
+impl Cache {
+    pub fn new() -> Cache {
+        Cache {
+            entries: Mutex::named(0, "fix.cache"),
+            learned: Condvar::new(),
+        }
+    }
+}
+
+/// Seeded bug #1: the submitted job blocks in `resolve`.
+pub fn service(key: u64, cache: &'static Cache) {
+    pool::submit(key, move || deliver(cache));
+}
+
+fn deliver(cache: &Cache) {
+    let station = resolve(cache);
+    let _ = station;
+}
+
+fn resolve(cache: &Cache) -> u64 {
+    let mut entries = cache.entries.lock();
+    loop {
+        if *entries != 0 {
+            return *entries;
+        }
+        cache.learned.wait(&mut entries);
+    }
+}
+
+/// Seeded bug #2: the timer callback panics two calls deep.
+pub fn arm(cache: &'static Cache) {
+    wheel::schedule(Duration::from_millis(5), move || tick(cache));
+}
+
+fn tick(cache: &Cache) {
+    let v = peek(cache);
+    decode(v);
+}
+
+fn peek(cache: &Cache) -> Option<u64> {
+    let entries = cache.entries.lock();
+    if *entries == 0 {
+        None
+    } else {
+        Some(*entries)
+    }
+}
+
+fn decode(v: Option<u64>) -> u64 {
+    v.unwrap()
+}
+
+/// Seeded bug #3: `split` and `merge` disagree on lock order.
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn new() -> Pair {
+        Pair {
+            left: Mutex::named(0, "fix.left"),
+            right: Mutex::named(0, "fix.right"),
+        }
+    }
+
+    pub fn split(&self) -> u64 {
+        let left = self.left.lock();
+        let right = self.right.lock();
+        *left + *right
+    }
+
+    pub fn merge(&self) -> u64 {
+        let right = self.right.lock();
+        let left = self.left.lock();
+        *left - *right
+    }
+}

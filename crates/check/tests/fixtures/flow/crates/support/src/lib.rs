@@ -1,0 +1,57 @@
+//! Boundary-crate fixture: the sanctioned wrappers the seeded kernel
+//! builds on. Raw sync primitives are legal here, as in the real
+//! plan9-support.
+
+pub mod sync {
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn named(value: T, _class: &str) -> Mutex<T> {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub struct Condvar {
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        pub fn new() -> Condvar {
+            Condvar {
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        pub fn wait<T>(&self, guard: &mut std::sync::MutexGuard<'_, T>) {
+            // The real implementation parks the thread; the analyzer
+            // treats the *call* as the sink, so the body is inert.
+            let _ = (&self.inner, guard);
+        }
+
+        pub fn notify_all(&self) {}
+    }
+}
+
+pub mod pool {
+    /// Runs `job` on the shard owning `key`; jobs must never block.
+    pub fn submit<F: FnOnce() + Send + 'static>(key: u64, job: F) {
+        let _ = key;
+        job();
+    }
+}
+
+pub mod wheel {
+    /// Fires `callback` after `after`; callbacks must never block.
+    pub fn schedule<F: FnOnce() + Send + 'static>(after: std::time::Duration, callback: F) {
+        let _ = after;
+        callback();
+    }
+}

@@ -30,6 +30,7 @@ const Q_CTL: u32 = 2;
 const Q_DATA: u32 = 3;
 const Q_SERIES: u32 = 4;
 const Q_COPY: u32 = 5;
+const Q_LOCKGRAPH: u32 = 6;
 
 /// Serves a directory `log` containing `ctl` and `data` over a
 /// machine's event log.
@@ -52,6 +53,7 @@ impl LogFs {
             Dir::file("copy", Qid::file(Q_COPY, 0), 0o444, "network", 0),
             Dir::file("ctl", Qid::file(Q_CTL, 0), 0o660, "network", 0),
             Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0),
+            Dir::file("lockgraph", Qid::file(Q_LOCKGRAPH, 0), 0o444, "network", 0),
             Dir::file("series", Qid::file(Q_SERIES, 0), 0o444, "network", 0),
         ]
     }
@@ -92,6 +94,7 @@ impl ProcFs for LogFs {
             (Q_LOG, "data") => Ok(ServeNode::new(Qid::file(Q_DATA, 0), n.handle)),
             (Q_LOG, "series") => Ok(ServeNode::new(Qid::file(Q_SERIES, 0), n.handle)),
             (Q_LOG, "copy") => Ok(ServeNode::new(Qid::file(Q_COPY, 0), n.handle)),
+            (Q_LOG, "lockgraph") => Ok(ServeNode::new(Qid::file(Q_LOCKGRAPH, 0), n.handle)),
             _ if !n.qid.is_dir() => Err(NineError::new(errstr::ENOTDIR)),
             _ => Err(NineError::new(errstr::ENOTEXIST)),
         }
@@ -101,7 +104,9 @@ impl ProcFs for LogFs {
         if n.qid.is_dir() && mode.access() != 0 {
             return Err(NineError::new(errstr::EISDIR));
         }
-        if matches!(n.qid.path_bits(), Q_DATA | Q_SERIES | Q_COPY) && mode.writable() {
+        if matches!(n.qid.path_bits(), Q_DATA | Q_SERIES | Q_COPY | Q_LOCKGRAPH)
+            && mode.writable()
+        {
             return Err(NineError::new(errstr::EPERM));
         }
         Ok(*n)
@@ -122,6 +127,15 @@ impl ProcFs for LogFs {
             Q_SERIES => Ok(Self::text_slice(self.netlog.series.render(), offset, count)),
             Q_COPY => Ok(Self::text_slice(
                 plan9_support::copysite::render(),
+                offset,
+                count,
+            )),
+            // The process-wide runtime lock-order graph: lockdep is a
+            // process singleton, so every machine's /net serves the
+            // same text — which is the point, the fabric's lock
+            // discipline is one artifact.
+            Q_LOCKGRAPH => Ok(Self::text_slice(
+                plan9_support::lockgraph_dump(),
                 offset,
                 count,
             )),
@@ -155,6 +169,13 @@ impl ProcFs for LogFs {
             Q_DATA => Ok(Dir::file("data", Qid::file(Q_DATA, 0), 0o444, "network", 0)),
             Q_SERIES => Ok(Dir::file("series", Qid::file(Q_SERIES, 0), 0o444, "network", 0)),
             Q_COPY => Ok(Dir::file("copy", Qid::file(Q_COPY, 0), 0o444, "network", 0)),
+            Q_LOCKGRAPH => Ok(Dir::file(
+                "lockgraph",
+                Qid::file(Q_LOCKGRAPH, 0),
+                0o444,
+                "network",
+                0,
+            )),
             _ => Err(NineError::new(errstr::EBADUSE)),
         }
     }
@@ -249,6 +270,31 @@ mod tests {
     }
 
     #[test]
+    fn lockgraph_serves_runtime_lock_classes() {
+        let (fs, _netlog) = served();
+        // Touch a named lock so the dump has at least one class row in
+        // debug builds, where lockdep is compiled in.
+        let m = plan9_support::sync::Mutex::named(0u32, "core.test.lockgraph");
+        *m.lock() += 1;
+        let node = walk_open(&fs, &["log", "lockgraph"], OpenMode::READ);
+        let text = String::from_utf8(fs.read(&node, 0, 65536).unwrap()).unwrap();
+        if cfg!(debug_assertions) {
+            assert!(
+                text.contains("class core.test.lockgraph acquires="),
+                "lockgraph dump missing the class we just used:\n{text}"
+            );
+        } else {
+            assert!(text.starts_with("# lockdep: disabled"));
+        }
+        // Read-only: opening for write is a permission error.
+        let mut n = fs.attach("u", "").unwrap();
+        for elem in ["log", "lockgraph"] {
+            n = fs.walk(&n, elem).unwrap();
+        }
+        assert!(fs.open(&n, OpenMode::RDWR).is_err());
+    }
+
+    #[test]
     fn log_dir_lists_new_files() {
         let (fs, _netlog) = served();
         let names: Vec<String> = fs
@@ -256,7 +302,7 @@ mod tests {
             .iter()
             .map(|d| d.name.clone())
             .collect();
-        assert_eq!(names, ["copy", "ctl", "data", "series"]);
+        assert_eq!(names, ["copy", "ctl", "data", "lockgraph", "series"]);
     }
 
     #[test]

@@ -76,10 +76,24 @@ impl ArpPacket {
     }
 }
 
+/// Most packets a single unresolved next-hop may have parked on the
+/// cache; older packets are dropped first, like a real ARP hold queue.
+pub const HOLD_PER_HOST: usize = 8;
+
+/// Most distinct unresolved next-hops with parked packets.
+pub const HOLD_HOSTS: usize = 32;
+
 /// The ARP cache, shared between the sender path (lookups) and the
 /// receiver kernel process (learning).
+///
+/// The cache also carries the *hold queue*: the transmit path runs on
+/// pool shards and wheel callbacks where sleeping is forbidden, so an
+/// unresolved send parks its packet here ([`ArpCache::hold`]) and the
+/// receive path flushes it when the mapping is learned
+/// ([`ArpCache::take_held`]).
 pub struct ArpCache {
     entries: Mutex<HashMap<IpAddr, MacAddr>>,
+    pending: Mutex<HashMap<IpAddr, Vec<Vec<u8>>>>,
     learned: Condvar,
 }
 
@@ -94,8 +108,40 @@ impl ArpCache {
     pub fn new() -> ArpCache {
         ArpCache {
             entries: Mutex::named(HashMap::new(), "inet.arp"),
+            pending: Mutex::named(HashMap::new(), "inet.arp.pending"),
             learned: Condvar::new(),
         }
+    }
+
+    /// Parks an encoded IP packet until `ip` resolves. Returns `false`
+    /// when a packet was lost to make room: either the host table is
+    /// full (the new packet is dropped) or the per-host queue is full
+    /// (the oldest parked packet is evicted — the newest is the live
+    /// one). Senders count that, they don't retry here. Bounded in
+    /// both dimensions ([`HOLD_PER_HOST`], [`HOLD_HOSTS`]) so a flood
+    /// of sends to a silent host cannot grow memory.
+    pub fn hold(&self, ip: IpAddr, packet: Vec<u8>) -> bool {
+        let mut pending = self.pending.lock();
+        if !pending.contains_key(&ip) && pending.len() >= HOLD_HOSTS {
+            return false;
+        }
+        let q = pending.entry(ip).or_default();
+        let evicted = q.len() >= HOLD_PER_HOST;
+        if evicted {
+            q.remove(0);
+        }
+        q.push(packet);
+        !evicted
+    }
+
+    /// Takes every packet parked for `ip`, in arrival order.
+    pub fn take_held(&self, ip: IpAddr) -> Vec<Vec<u8>> {
+        self.pending.lock().remove(&ip).unwrap_or_default()
+    }
+
+    /// Packets currently parked across all hosts.
+    pub fn held_len(&self) -> usize {
+        self.pending.lock().values().map(Vec::len).sum()
     }
 
     /// Inserts or refreshes a mapping and wakes any waiting senders.

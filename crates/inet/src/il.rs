@@ -1117,6 +1117,7 @@ impl IlConn {
                             send_state = true;
                         }
                         IlType::Ack => {}
+                        // checked: Close is diverted before this match
                         IlType::Close => unreachable!("handled above"),
                     }
                     if inner.state == IlState::Closing

@@ -69,6 +69,10 @@ pub struct IpStats {
     pub reassembled: Counter,
     /// Fragments emitted.
     pub fragments_out: Counter,
+    /// Packets parked on the ARP hold queue awaiting resolution.
+    pub arp_held: Counter,
+    /// Packets dropped because the hold queue was full.
+    pub arp_dropped: Counter,
 }
 
 impl IpStats {
@@ -79,18 +83,22 @@ impl IpStats {
             rx_errors: reg.counter("ip.rxerr"),
             reassembled: reg.counter("ip.reassembled"),
             fragments_out: reg.counter("ip.fragout"),
+            arp_held: reg.counter("ip.arpheld"),
+            arp_dropped: reg.counter("ip.arpdrop"),
         }
     }
 
     /// Renders the counters as `key: value` lines for a `stats` file.
     pub fn render(&self) -> String {
         format!(
-            "ipRx: {}\nipTx: {}\nipRxErr: {}\nipReassembled: {}\nipFragOut: {}\n",
+            "ipRx: {}\nipTx: {}\nipRxErr: {}\nipReassembled: {}\nipFragOut: {}\narpHeld: {}\narpDropped: {}\n",
             self.rx_packets.get(),
             self.tx_packets.get(),
             self.rx_errors.get(),
             self.reassembled.get(),
-            self.fragments_out.get()
+            self.fragments_out.get(),
+            self.arp_held.get(),
+            self.arp_dropped.get()
         )
     }
 }
@@ -187,13 +195,11 @@ impl IpStack {
     /// this stack's worker-pool shard. A fabric of thousands of hosts
     /// then runs on O(cores) threads instead of two per host.
     ///
-    /// One care: service jobs must not block on virtual time, so a
-    /// transmit issued from a service path (an ack, a retransmission)
-    /// must find the peer's MAC already in the ARP cache. In practice
-    /// it always does — the peer's own ARP request or data frame is
-    /// learned before anything answers it — but the *first* dial to a
-    /// host should come from a regular kproc, as `connect`/`announce`
-    /// callers naturally do.
+    /// Service jobs must not block on virtual time, and the transmit
+    /// path never does: an ARP miss parks the packet on the cache's
+    /// hold queue and the receive path flushes it once the mapping is
+    /// learned, so even a first-contact transmit from an ack or a
+    /// retransmission timer is safe on a shard.
     pub fn new_pooled(station: EtherStation, cfg: IpConfig) -> Arc<IpStack> {
         let key = station_key(&station.addr, cfg.addr);
         station.set_address_filter(true);
@@ -313,6 +319,7 @@ impl IpStack {
         // Learn the sender unconditionally; hosts that talk to us are
         // hosts we will talk back to.
         self.arp.learn(pkt.sender_ip, pkt.sender_mac);
+        self.flush_held(pkt.sender_ip, pkt.sender_mac);
         if pkt.op == ARP_REQUEST && pkt.target_ip == self.cfg.addr {
             let reply = ArpPacket {
                 op: ARP_REPLY,
@@ -338,14 +345,14 @@ impl IpStack {
         // In-band ARP: a frame from a peer *is* its address mapping.
         // Without this, a host that learned our address passively (from
         // a broadcast it overheard) dials us without ever ARPing, and
-        // our replies — issued from a worker-shard service job that
-        // must not block on virtual time — would stall in `resolve`.
+        // our replies would sit on the hold queue until it did.
         // Transparent bridges preserve the original source address, so
         // the mapping is correct across segments too.
         if let Some(mac) = src_mac {
             if self.arp.lookup(hdr.src).is_none() {
                 self.arp.learn(hdr.src, mac);
             }
+            self.flush_held(hdr.src, mac);
         }
         let assembled = if hdr.frag_offset == 0 && !hdr.more_frags {
             RX_SITE.record(payload.len());
@@ -462,6 +469,7 @@ impl IpStack {
             // Loopback: delivered by the loopback kernel process, or —
             // in pooled mode — serviced on this stack's own shard.
             if let Some(tx) = &self.loop_tx {
+                // blocking-ok: unbounded channel send never waits
                 return tx.send(packet).map_err(|_| NineError::new("stack is down"));
             }
             let me = self.me.clone();
@@ -480,24 +488,24 @@ impl IpStack {
                 .send(BROADCAST, IP_ETHERTYPE, &packet)
                 .map_err(NineError::new);
         }
-        let mac = self.resolve(dst)?;
-        self.station
-            .send(mac, IP_ETHERTYPE, &packet)
-            .map_err(NineError::new)
-    }
-
-    /// Resolves the next-hop station address for `dst`, issuing ARP
-    /// requests as needed.
-    fn resolve(&self, dst: IpAddr) -> crate::Result<plan9_netsim::ether::MacAddr> {
-        let next_hop = if self.cfg.addr.same_net(dst, self.cfg.mask) {
-            dst
-        } else {
-            self.cfg
-                .gateway
-                .ok_or_else(|| NineError::new(format!("no route to {dst}")))?
-        };
+        let next_hop = self.next_hop(dst)?;
         if let Some(mac) = self.arp.lookup(next_hop) {
-            return Ok(mac);
+            return self
+                .station
+                .send(mac, IP_ETHERTYPE, &packet)
+                .map_err(NineError::new);
+        }
+        // ARP miss. The transmit path runs on pool shards and wheel
+        // callbacks where sleeping on virtual time deadlocks the
+        // kernel, so there is no waiting here at all: park the packet
+        // on the cache's hold queue, solicit, and let the receive path
+        // flush it when the reply (or any frame from the peer) teaches
+        // us the mapping. An unreachable host costs a bounded hold
+        // queue, not a stalled shard.
+        if self.arp.hold(next_hop, packet) {
+            self.stats.arp_held.inc();
+        } else {
+            self.stats.arp_dropped.inc();
         }
         let req = ArpPacket {
             op: ARP_REQUEST,
@@ -506,15 +514,33 @@ impl IpStack {
             target_mac: [0; 6],
             target_ip: next_hop,
         };
-        for _ in 0..3 {
-            self.station
-                .send(BROADCAST, ARP_ETHERTYPE, &req.encode())
-                .map_err(NineError::new)?;
-            if let Some(mac) = self.arp.wait_for(next_hop, Duration::from_millis(250)) {
-                return Ok(mac);
-            }
+        self.station
+            .send(BROADCAST, ARP_ETHERTYPE, &req.encode())
+            .map_err(NineError::new)?;
+        // The reply may have raced the hold: flush immediately if the
+        // mapping is already in.
+        if let Some(mac) = self.arp.lookup(next_hop) {
+            self.flush_held(next_hop, mac);
         }
-        Err(NineError::new(format!("host unreachable: {next_hop}")))
+        Ok(())
+    }
+
+    /// Routes `dst` to the on-link next hop.
+    fn next_hop(&self, dst: IpAddr) -> crate::Result<IpAddr> {
+        if self.cfg.addr.same_net(dst, self.cfg.mask) {
+            Ok(dst)
+        } else {
+            self.cfg
+                .gateway
+                .ok_or_else(|| NineError::new(format!("no route to {dst}")))
+        }
+    }
+
+    /// Sends every packet parked for `ip` now that its MAC is known.
+    fn flush_held(&self, ip: IpAddr, mac: plan9_netsim::ether::MacAddr) {
+        for pkt in self.arp.take_held(ip) {
+            let _ = self.station.send(mac, IP_ETHERTYPE, &pkt);
+        }
     }
 }
 
@@ -639,10 +665,45 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn unreachable_host_times_out() {
+    fn unreachable_host_parks_without_blocking() {
+        // A send to a silent host must return immediately — the tx
+        // path runs on shards and wheel callbacks where sleeping in
+        // ARP resolution (the old behavior) stalls the kernel. The
+        // packet parks on the hold queue instead, bounded per host.
         let (a, _b) = two_hosts();
-        let err = a.send(IpAddr::new(10, 0, 0, 99), 17, b"x").unwrap_err();
-        assert!(err.0.contains("unreachable"), "{err}");
+        let ghost = IpAddr::new(10, 0, 0, 99);
+        let t0 = std::time::Instant::now();
+        for _ in 0..(crate::arp::HOLD_PER_HOST + 3) {
+            a.send(ghost, 17, b"x").unwrap();
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "send blocked: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(a.arp.held_len(), crate::arp::HOLD_PER_HOST);
+        assert_eq!(a.stats.arp_dropped.get(), 3);
+    }
+
+    #[test]
+    fn held_packet_flushes_when_peer_resolves() {
+        // The first datagram to a cold peer rides the hold queue: the
+        // send returns at once, the ARP exchange happens in the
+        // background, and the parked packet goes out when the reply
+        // lands — nothing is lost and nothing blocks. This is the
+        // checkflow blocking-context finding (wheel/pool transmit
+        // reaching the old blocking `resolve`) fixed for real.
+        let (a, b) = two_hosts();
+        let sock_b = b.udp_module().bind(&b, 4242).unwrap();
+        let sock_a = a.udp_module().bind(&a, 0).unwrap();
+        assert!(a.arp.lookup(IpAddr::new(10, 0, 0, 2)).is_none());
+        sock_a
+            .send_to(IpAddr::parse("10.0.0.2").unwrap(), 4242, b"first-contact")
+            .unwrap();
+        let (_src, _sport, data) = sock_b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(data, b"first-contact");
+        // Resolution completed behind the send.
+        assert!(a.arp.lookup(IpAddr::new(10, 0, 0, 2)).is_some());
     }
 
     #[test]

@@ -285,6 +285,8 @@ impl Registry {
             .or_insert_with(|| Metric::Gauge(Gauge::new(name)))
         {
             Metric::Gauge(g) => g.clone(),
+            // checked: metric kind is fixed at first registration; a
+            // mismatch is a programming error caught in tests
             _ => panic!("netlog: {name} is not a gauge"),
         }
     }

@@ -328,6 +328,8 @@ impl WireRx {
 
     /// Non-blocking poll.
     pub fn try_recv(&mut self) -> Option<Vec<u8>> {
+        // blocking-ok: zero timeout — the wait deadline is already
+        // past, so this returns without sleeping
         match self.recv_timeout(Duration::ZERO) {
             RecvOutcome::Frame(f) => Some(f),
             _ => None,

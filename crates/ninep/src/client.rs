@@ -154,7 +154,11 @@ impl NineClient {
         if let Some(h) = &root {
             h.span(Facility::NineP, "marshal", m0, started);
         }
-        if let Err(e) = self.shared.sink.lock().sendmsg(&buf) {
+        // Bind the send result first: an `if let` on the guard-chained
+        // call keeps the sink locked through the whole error arm, and
+        // the pending cleanup below must not run with sink held.
+        let sent = self.shared.sink.lock().sendmsg(&buf);
+        if let Err(e) = sent {
             self.shared.pending.lock().remove(&tag);
             if let Some(h) = &root {
                 h.finish();
@@ -203,7 +207,8 @@ impl NineClient {
         let (tx, rx) = bounded(1);
         self.shared.pending.lock().insert(tag, tx);
         let buf = encode_tmsg(tag, t);
-        if self.shared.sink.lock().sendmsg(&buf).is_err() {
+        let sent = self.shared.sink.lock().sendmsg(&buf);
+        if sent.is_err() {
             self.shared.pending.lock().remove(&tag);
             let (etx, erx) = bounded(1);
             let _ = etx.send(Rmsg::Error {

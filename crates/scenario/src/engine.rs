@@ -112,6 +112,9 @@ fn drain(svc: &Weak<NineService>, conn: &Weak<IlConn>) {
     loop {
         match conn.try_recv() {
             Ok(TryRecv::Msg(m)) => {
+                // blocking-ok: this service wraps a MemFs, whose ProcFs
+                // ops answer from memory; relay-backed services run on
+                // dedicated kprocs, never on pool shards
                 if svc.input(&m).is_err() {
                     conn.close();
                     return;
@@ -119,6 +122,8 @@ fn drain(svc: &Weak<NineService>, conn: &Weak<IlConn>) {
             }
             Ok(TryRecv::Empty) => return,
             Ok(TryRecv::Eof) | Err(_) => {
+                // blocking-ok: MemFs-backed service, as above — clunks
+                // answer from memory
                 svc.hangup();
                 return;
             }
@@ -398,11 +403,13 @@ fn direct(sc: Scenario) -> Report {
     for (i, te) in sc.events.iter().enumerate() {
         let tx = etx.clone();
         wheel::schedule(DIRECTOR_KEY, t0 + te.at, move || {
+            // blocking-ok: unbounded channel send never waits
             let _ = tx.send(i);
         })
         .expect("arm event");
     }
     wheel::schedule(DIRECTOR_KEY, t0 + sc.end, move || {
+        // blocking-ok: unbounded channel send never waits
         let _ = etx.send(END_MARK);
     })
     .expect("arm end");

@@ -439,6 +439,7 @@ fn bridge(
     let (ftx, frx) = unbounded::<Vec<u8>>();
     station.set_rx_handler(shard_key, move |frame| {
         if forwards(facing, &frame) {
+            // blocking-ok: unbounded channel send never waits
             let _ = ftx.send(frame.encode());
         }
     });

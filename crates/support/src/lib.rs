@@ -40,3 +40,19 @@ pub mod sync;
 pub mod time;
 pub mod vtime;
 pub mod wheel;
+
+/// The runtime lock-order graph in the `/net/log/lockgraph` text
+/// format (`class …` / `edge …` lines), or a one-line marker in
+/// release builds, where lockdep is compiled out. This is the dump
+/// `plan9-check --flow` cross-checks its static lock-order edges
+/// against.
+pub fn lockgraph_dump() -> String {
+    #[cfg(debug_assertions)]
+    {
+        lockdep::graph_dump()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        "# lockdep: disabled (release build)\n".to_string()
+    }
+}

@@ -89,6 +89,10 @@ struct Graph {
     /// Class names, indexed by `ClassId - 1`.
     names: Vec<&'static str>,
     by_name: HashMap<&'static str, ClassId>,
+    /// Blocking acquisitions per class, indexed by `ClassId - 1`. A
+    /// zero after a full run marks a dead class — named but never
+    /// locked — which checkflow reports.
+    acquires: Vec<u64>,
     /// `from → to` acquisition-order edges with their first sighting.
     edges: HashMap<(ClassId, ClassId), EdgeSite>,
     /// Adjacency lists over the same edges, for reachability walks.
@@ -146,6 +150,7 @@ fn register(name: &'static str) -> ClassId {
         return id;
     }
     g.names.push(name);
+    g.acquires.push(0);
     let id = g.names.len() as ClassId;
     g.by_name.insert(name, id);
     id
@@ -155,6 +160,7 @@ fn register(name: &'static str) -> ClassId {
 /// held class and panics if one would close a cycle. Call *before*
 /// blocking on the underlying lock.
 pub fn acquire(c: ClassId) {
+    graph().acquires[(c - 1) as usize] += 1;
     let held: Vec<ClassId> = HELD.with(|h| h.borrow().clone());
     for &h in &held {
         if h == c {
@@ -193,6 +199,7 @@ pub fn acquire(c: ClassId) {
                 bt = Backtrace::force_capture(),
             );
             drop(g);
+            // checked: deliberate abort — a lock-order cycle means deadlock is possible
             panic!("{msg}");
         }
         let site = EdgeSite {
@@ -213,6 +220,7 @@ pub fn acquire(c: ClassId) {
 /// non-blocking acquisition records no order edge (it cannot be the
 /// waiting half of a deadlock).
 pub fn acquire_try(c: ClassId) {
+    graph().acquires[(c - 1) as usize] += 1;
     HELD.with(|s| s.borrow_mut().push(c));
 }
 
@@ -238,6 +246,41 @@ pub fn held_names() -> Vec<&'static str> {
 /// Number of distinct acquisition-order edges recorded so far.
 pub fn edge_count() -> usize {
     graph().edges.len()
+}
+
+/// Renders the whole runtime graph in the `/net/log/lockgraph` format
+/// checkflow's `--observed` cross-check parses:
+///
+/// ```text
+/// class <name> acquires=<n>
+/// edge <from> -> <to> thread=<t>
+/// ```
+///
+/// Classes sort by name and edges by (from, to), so two dumps of the
+/// same history are byte-identical.
+pub fn graph_dump() -> String {
+    let g = graph();
+    let mut out = String::new();
+    let mut classes: Vec<(&str, u64)> = g
+        .names
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, g.acquires[i]))
+        .collect();
+    classes.sort_unstable();
+    for (name, n) in classes {
+        out.push_str(&format!("class {name} acquires={n}\n"));
+    }
+    let mut edges: Vec<(&str, &str, &str)> = g
+        .edges
+        .iter()
+        .map(|(&(from, to), site)| (g.name(from), g.name(to), site.thread.as_str()))
+        .collect();
+    edges.sort_unstable();
+    for (from, to, thread) in edges {
+        out.push_str(&format!("edge {from} -> {to} thread={thread}\n"));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -168,6 +168,9 @@ fn ensure_worker(idx: usize, st: &mut ShardState) -> io::Result<()> {
             // shard yet this era — it will join the old worker; we
             // must not lose the handle. retire() always runs at the
             // era bump, so by submit time the slot is clear.
+            // blocking-ok: the closure runs on the spawned shard
+            // kproc, not in the caller's context; checked: likewise,
+            // a panic there unwinds the worker, not the caller
             let handle = vtime::kproc(&format!("pool-{idx}"), move || worker_loop(idx, era))?;
             st.worker = Some((era, handle));
             Ok(())

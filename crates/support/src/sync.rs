@@ -156,12 +156,16 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // checked: None only inside a wait on this same thread, which
+        // cannot overlap a deref of the guard
         self.inner.as_ref().expect("guard stolen during wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        // checked: None only inside a wait on this same thread, which
+        // cannot overlap a deref of the guard
         self.inner.as_mut().expect("guard stolen during wait")
     }
 }
@@ -360,6 +364,7 @@ impl Condvar {
         // Only now release the user lock: a notifier must be able to
         // find the parker the instant the lock is free.
         let raw = guard.raw;
+        // checked: a live guard always carries its lock outside a wait
         let g = guard.inner.take().expect("guard stolen during wait");
         #[cfg(debug_assertions)]
         if let Some(c) = guard.class {
@@ -390,6 +395,7 @@ impl Condvar {
             self.vwait(guard, &clock, None);
             return;
         }
+        // checked: a live guard always carries its lock outside a wait
         let g = guard.inner.take().expect("guard stolen during wait");
         // The lock is parked while asleep: lockdep must see it released
         // here and re-acquired on wakeup, or held-stack accounting and
@@ -453,6 +459,7 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        // checked: a live guard always carries its lock outside a wait
         let g = guard.inner.take().expect("guard stolen during wait");
         #[cfg(debug_assertions)]
         if let Some(c) = guard.class {

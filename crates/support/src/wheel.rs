@@ -155,6 +155,9 @@ fn ensure_worker(st: &mut WheelState) -> io::Result<()> {
     match &st.worker {
         Some((e, _)) if *e == era => Ok(()),
         _ => {
+            // blocking-ok: the closure runs on the spawned timer-wheel
+            // kproc, not in the caller's context; checked: likewise,
+            // a panic there unwinds the wheel kproc, not the caller
             let handle = vtime::kproc("timer-wheel", move || wheel_loop(era))?;
             st.worker = Some((era, handle));
             Ok(())

@@ -145,6 +145,10 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
             .lines()
             .map(quote)
             .collect();
+        let lock_lines: Vec<String> = read_path(&p, "/net/log/lockgraph")
+            .lines()
+            .map(quote)
+            .collect();
         println!("{{");
         println!("  \"conns\": [{}],", conns.join(", "));
         println!(
@@ -152,7 +156,8 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
             quote(&read_path(&p, "/net/il/stats")),
             quote(&read_path(&p, "/net/ether0/1/stats"))
         );
-        println!("  \"log\": [{}]", log_lines.join(", "));
+        println!("  \"log\": [{}],", log_lines.join(", "));
+        println!("  \"lockgraph\": [{}]", lock_lines.join(", "));
         println!("}}");
     } else {
         // The connection table, straight out of the name space.
@@ -168,6 +173,10 @@ sys=gnot ip=135.104.9.40 proto=il proto=tcp
 
         // The IL event trace collected since `set il`.
         cat(&p, "/net/log/data");
+
+        // The runtime lock-order graph lockdep has observed so far
+        // (debug builds; release serves a one-line marker).
+        cat(&p, "/net/log/lockgraph");
     }
 
     // `clear` zeroes the mask and flushes the ring.

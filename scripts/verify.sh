@@ -8,10 +8,59 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-# netcheck: panic-path, raw-sync, wall-clock, and manifest-hermeticity
-# rules, gated on scripts/check-baseline.txt (counts may shrink, never
-# grow). This subsumes the old manifest grep.
-cargo run --release --offline -q -p plan9-check
+# checkflow: the interprocedural pass (blocking-context, panic
+# reachability, static lock order cross-checked against the runtime
+# lockdep dump) plus the original netcheck lint rules, gated on
+# scripts/check-baseline.txt (counts may shrink, never grow). It runs
+# before the build on purpose: a blocking call on a pool shard should
+# fail the gate before any compile time is spent. Whole-workspace
+# analysis must stay interactive — 10s or it has regressed.
+flow_start=$(date +%s)
+cargo run --release --offline -q -p plan9-check -- --flow
+flow_wall=$(( $(date +%s) - flow_start ))
+if [ "$flow_wall" -gt 10 ]; then
+    echo "verify: plan9-check --flow took ${flow_wall}s (> 10s budget)" >&2
+    exit 1
+fi
+
+# The machine-readable report must keep the checkflow-v1 shape: every
+# consumer field present, zero kernel-wide blocking/panic findings,
+# zero lock-order cycles, and every static lock edge either confirmed
+# by the runtime dump or explicitly listed as untested.
+python3 - <<'EOF'
+import json, sys
+r = json.load(open("REPORT_checkflow.json"))
+if r.get("schema") != "checkflow-v1":
+    sys.exit(f"verify: REPORT_checkflow.json schema is {r.get('schema')!r}")
+g = r["graph"]
+for field in ("functions", "call_sites", "resolved_calls", "roots", "lock_classes"):
+    if not isinstance(g.get(field), int):
+        sys.exit(f"verify: REPORT graph.{field} missing or non-integer")
+if g["functions"] < 500 or g["roots"] < 5:
+    sys.exit(f"verify: call graph implausibly small ({g['functions']} fns, {g['roots']} roots)")
+for pass_ in ("blocking_context", "panic_reach"):
+    p = r[pass_]
+    if p["count"] != 0 or p["findings"]:
+        sys.exit(f"verify: {pass_} baseline broken: {p['count']} findings")
+lo = r["lock_order"]
+if lo["cycles"]:
+    sys.exit(f"verify: lock-order cycles: {lo['cycles']}")
+if not lo["cross_checked"]:
+    sys.exit("verify: static lock edges never cross-checked against a runtime dump")
+confirmed = [e for e in lo["static_edges"] if e["confirmed"]]
+untested = {tuple(e) for e in lo["untested"]}
+for e in lo["static_edges"]:
+    if not e["confirmed"] and (e["from"], e["to"]) not in untested:
+        sys.exit(f"verify: static edge {e['from']} -> {e['to']} neither confirmed nor listed untested")
+if not confirmed:
+    sys.exit("verify: no static lock edge was runtime-confirmed")
+if lo["dead_classes"]:
+    sys.exit(f"verify: dead lockdep classes: {lo['dead_classes']}")
+for e in lo["static_edges"]:
+    for field in ("from", "to", "via", "site"):
+        if not e.get(field):
+            sys.exit(f"verify: static edge missing {field}: {e}")
+EOF
 
 # Clippy, when the toolchain ships it; warnings are errors so the tree
 # stays warning-free.
@@ -159,4 +208,4 @@ if len(top3) != 3 or top3 != [s["site"] for s in sites[:3]]:
     sys.exit(f"verify: top_copy_sites disagrees with the ranked table: {top3}")
 EOF
 
-echo "verify: OK (netcheck + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate + scenario adversity gate + netmon telemetry gate)"
+echo "verify: OK (checkflow + clippy + hermetic build + tests + examples + trace-off ring + LoC gate + bench JSON + vtime sweep gate + cityload scale gate + scenario adversity gate + netmon telemetry gate)"
